@@ -1,0 +1,45 @@
+// Figure 10: single-restart overhead decomposition (checkpoint transfer /
+// reconstruction) for the six mini-app variants, comparing the strong
+// scheme (one point-to-point checkpoint) with the medium/weak scheme
+// (all-buddies transfer) under default / mixed / column mappings.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/phase_model.h"
+
+using namespace acr;
+using namespace acr::sim;
+
+int main() {
+  const std::vector<int> nodes_per_replica = {256, 1024, 4096, 16384};
+
+  for (const auto& app : apps::kTable2) {
+    std::printf("Figure 10 — %s: single restart overhead (s)\n", app.name);
+    TablePrinter table({"cores/replica", "variant", "transfer",
+                        "reconstruction", "total"});
+    for (int nodes : nodes_per_replica) {
+      PhaseModel pm(nodes, app);
+      auto add = [&](const char* name, RestartPhases r) {
+        table.add_row({std::to_string(nodes * apps::kCoresPerNode), name,
+                       TablePrinter::fmt(r.transfer, 4),
+                       TablePrinter::fmt(r.reconstruction, 4),
+                       TablePrinter::fmt(r.total(), 4)});
+      };
+      add("strong", pm.restart_strong());
+      add("medium (default)", pm.restart_medium(topo::MappingScheme::Default));
+      add("medium (mixed)", pm.restart_medium(topo::MappingScheme::Mixed));
+      add("medium (column)", pm.restart_medium(topo::MappingScheme::Column));
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Paper shape check: strong ships exactly one checkpoint and is "
+      "mapping-independent; medium with the default mapping\nhits the same "
+      "bisection congestion as checkpointing (Jacobi3D ~2 s -> ~0.4 s with "
+      "column mapping); for LeanMD the\nrestart barriers dominate and grow "
+      "slowly with core count.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 11: overall ACR overhead per replica (%) — checkpointing plus
+// recovery plus rework at the optimal interval — for Jacobi3D and LeanMD,
+// cross-validated two ways: the §5 closed-form model and the Monte-Carlo
+// lifetime simulator playing actual failure traces.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "model/acr_model.h"
+#include "sim/lifetime.h"
+#include "sim/phase_model.h"
+
+using namespace acr;
+using namespace acr::sim;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  DetectionMode mode;
+};
+
+constexpr Variant kVariants[] = {
+    {"default", DetectionMode::FullDefault},
+    {"default+checksum", DetectionMode::Checksum},
+    {"column", DetectionMode::FullColumn},
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<int> sockets = {1024, 4096, 16384};
+  const apps::MiniAppSpec* specs[] = {&apps::kTable2[0], &apps::kTable2[4]};
+
+  for (const auto* app : specs) {
+    std::printf("Figure 11 — %s: overall overhead per replica (%%)\n",
+                app->name);
+    TablePrinter table({"sockets/replica", "variant", "scheme", "model %",
+                        "montecarlo %", "P(undetected)"});
+    for (int s : sockets) {
+      for (const Variant& v : kVariants) {
+        PhaseModel pm(s, *app);
+        double delta = pm.checkpoint_phases(v.mode).total();
+
+        model::SystemParams p;
+        p.work = 24.0 * model::kSecondsPerHour;
+        p.checkpoint_cost = delta;
+        p.restart_hard = pm.restart_strong().total();
+        p.restart_sdc = pm.restart_sdc().total();
+        p.socket_mtbf_hard = 50.0 * model::kSecondsPerYear;
+        p.sdc_fit_per_socket = 10000.0;
+        p.sockets_per_replica = s;
+        model::AcrModel m(p);
+
+        for (model::Scheme scheme :
+             {model::Scheme::Strong, model::Scheme::Medium,
+              model::Scheme::Weak}) {
+          double tau = m.optimal_tau(scheme);
+          model::SchemeEvaluation e = m.evaluate_at(scheme, tau);
+          double model_pct = (e.total_time - p.work) / p.work * 100.0;
+
+          LifetimeConfig lc;
+          lc.work = p.work;
+          lc.tau = tau;
+          lc.checkpoint_cost = delta;
+          lc.restart_hard = p.restart_hard;
+          lc.restart_sdc = p.restart_sdc;
+          lc.scheme = scheme;
+          lc.hard_mtbf = p.system_hard_mtbf();
+          lc.sdc_mtbf = p.system_sdc_mtbf();
+          lc.trials = 60;
+          lc.seed = 1234 + s;
+          LifetimeResult r = simulate_lifetime(lc);
+
+          table.add_row({std::to_string(s), v.name,
+                         model::scheme_name(scheme),
+                         TablePrinter::fmt(model_pct, 3),
+                         TablePrinter::fmt(r.mean_overhead_fraction * 100.0, 3),
+                         TablePrinter::fmt(r.prob_undetected_sdc, 3)});
+        }
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Paper shape check: strong costs the most overall (rework on every "
+      "hard error) despite its cheaper restart;\noptimizations (column "
+      "mapping / checksum) cut Jacobi3D overhead roughly in half (paper: "
+      "3%% -> 1.4%%); LeanMD\nstays under ~0.5%%.\n");
+  return 0;
+}

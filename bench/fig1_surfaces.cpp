@@ -1,0 +1,55 @@
+// Figure 1: overall system utilization and vulnerability to SDC for a
+// 120-hour job, as socket count (4K - 1M) and per-socket SDC rate
+// (1 - 10000 FIT) vary, under three regimes:
+//   (a) no fault tolerance,
+//   (b) hard-error checkpoint/restart only,
+//   (c) ACR (replication + checkpointing, strong scheme).
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "model/acr_model.h"
+
+using namespace acr;
+using namespace acr::model;
+
+int main() {
+  const double work = 120.0 * kSecondsPerHour;
+  const double socket_mtbf = 50.0 * kSecondsPerYear;
+  const double delta = 60.0;        // checkpoint cost at this scale
+  const double restart = 30.0;
+  const std::vector<int> sockets = {4096,   16384,  65536,
+                                    262144, 1048576};
+  const std::vector<double> fits = {1.0, 100.0, 10000.0};
+
+  std::printf(
+      "Figure 1: utilization / vulnerability surfaces (120 h job, "
+      "50 y/socket hard MTBF)\n\n");
+
+  TablePrinter table({"sockets", "SDC FIT", "noFT util", "noFT vuln",
+                      "CR util", "CR vuln", "ACR util", "ACR vuln"});
+  for (int s : sockets) {
+    for (double fit : fits) {
+      BaselinePoint noft = model_no_ft(work, s, socket_mtbf, fit);
+      BaselinePoint cr =
+          model_checkpoint_only(work, s, socket_mtbf, fit, delta, restart);
+      BaselinePoint acr =
+          model_acr(work, s, socket_mtbf, fit, delta, restart, restart);
+      table.add_row({std::to_string(s), TablePrinter::fmt(fit, 5),
+                     TablePrinter::fmt(noft.utilization, 3),
+                     TablePrinter::fmt(noft.vulnerability, 3),
+                     TablePrinter::fmt(cr.utilization, 3),
+                     TablePrinter::fmt(cr.vulnerability, 3),
+                     TablePrinter::fmt(acr.utilization, 3),
+                     TablePrinter::fmt(acr.vulnerability, 3)});
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nPaper shape check: (a) no-FT utilization collapses past 16K "
+      "sockets and vulnerability saturates;\n(b) checkpoint/restart keeps "
+      "utilization up but stays fully vulnerable;\n(c) ACR pins "
+      "vulnerability to zero at a near-constant ~0.5x utilization cost.\n");
+  return 0;
+}

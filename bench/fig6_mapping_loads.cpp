@@ -1,0 +1,56 @@
+// Figure 6: inter-replica checkpoint messages per torus link under the
+// default, column, and mixed mappings (512-node BG/P partition, 8x8x8).
+// Prints the per-link load profile along a Z ring (the paper's front-plane
+// annotation) and the bottleneck statistics for each scheme.
+#include <cstdio>
+
+#include "common/table.h"
+#include "net/link_load.h"
+#include "topology/mapping.h"
+
+using namespace acr;
+using topo::Dir;
+using topo::MappingScheme;
+using topo::ReplicaMapping;
+using topo::Torus3D;
+
+int main() {
+  Torus3D torus = topo::bgp_partition(512);
+  std::printf("Figure 6: buddy-traffic link loads, 512 nodes (%dx%dx%d)\n\n",
+              torus.dim_x(), torus.dim_y(), torus.dim_z());
+
+  net::NetworkParams params;
+  TablePrinter summary({"mapping", "max msgs/link", "byte-hops (norm)",
+                        "max buddy dist", "phase time (1 MiB/node)"});
+
+  for (MappingScheme scheme :
+       {MappingScheme::Default, MappingScheme::Column, MappingScheme::Mixed}) {
+    ReplicaMapping mapping(torus, scheme, 2);
+    net::LinkLoadModel loads(torus);
+    loads.add_traffic(mapping.buddy_pairs(), 1 << 20);
+
+    // Per-link profile along the Z+ ring at (x=0, y=0), paper style.
+    std::printf("%-8s Z+ ring loads (x=0,y=0): ", scheme_name(scheme));
+    for (int z = 0; z < torus.dim_z(); ++z)
+      std::printf("%llu ", static_cast<unsigned long long>(loads.link_messages(
+                        torus.link_id({0, 0, z}, Dir::ZPlus))));
+    std::printf("\n");
+
+    int max_dist = 0;
+    for (int i = 0; i < mapping.nodes_per_replica(); ++i)
+      max_dist = std::max(max_dist, mapping.buddy_distance(i));
+    summary.add_row(
+        {scheme_name(scheme),
+         std::to_string(loads.max_link_messages()),
+         TablePrinter::fmt(loads.total_byte_hops() / (1 << 20), 4),
+         std::to_string(max_dist),
+         TablePrinter::fmt(loads.phase_time(params) * 1e3, 4) + " ms"});
+  }
+  std::printf("\n");
+  summary.print();
+  std::printf(
+      "\nPaper shape check: default peaks at Z/2 = 4 messages on the "
+      "bisection (1,2,3,4,3,2,1 profile);\ncolumn is contention-free (max "
+      "1); mixed chunk=2 peaks at 2.\n");
+  return 0;
+}

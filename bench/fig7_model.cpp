@@ -1,0 +1,58 @@
+// Figure 7: (a) utilization of the weak/medium/strong schemes and (b) the
+// probability of an undetected SDC for weak/medium, for checkpoint costs
+// delta = 15 s and 180 s, from 1K to 256K sockets per replica.
+// Parameters follow §5: 24 h job, 50 years/socket hard MTBF, 100 FIT/socket.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "model/acr_model.h"
+
+using namespace acr;
+using namespace acr::model;
+
+int main() {
+  const std::vector<int> sockets = {1024,  2048,  4096,   8192,  16384,
+                                    32768, 65536, 131072, 262144};
+
+  for (double delta : {15.0, 180.0}) {
+    std::printf("Figure 7a: utilization, delta = %.0f s\n", delta);
+    TablePrinter util({"sockets/replica", "weak", "medium", "strong",
+                       "tau* weak (s)", "tau* strong (s)"});
+    std::printf("Figure 7b companion: P(undetected SDC), delta = %.0f s\n\n",
+                delta);
+    TablePrinter vuln({"sockets/replica", "weak", "medium"});
+    for (int s : sockets) {
+      SystemParams p;
+      p.work = 24.0 * kSecondsPerHour;
+      p.checkpoint_cost = delta;
+      p.restart_hard = 30.0;
+      p.restart_sdc = 30.0;
+      p.socket_mtbf_hard = 50.0 * kSecondsPerYear;
+      p.sdc_fit_per_socket = 100.0;
+      p.sockets_per_replica = s;
+      AcrModel m(p);
+      SchemeEvaluation weak = m.evaluate(Scheme::Weak);
+      SchemeEvaluation medium = m.evaluate(Scheme::Medium);
+      SchemeEvaluation strong = m.evaluate(Scheme::Strong);
+      util.add_row({std::to_string(s), TablePrinter::fmt(weak.utilization, 4),
+                    TablePrinter::fmt(medium.utilization, 4),
+                    TablePrinter::fmt(strong.utilization, 4),
+                    TablePrinter::fmt(weak.tau, 4),
+                    TablePrinter::fmt(strong.tau, 4)});
+      vuln.add_row({std::to_string(s),
+                    TablePrinter::fmt(weak.prob_undetected_sdc, 4),
+                    TablePrinter::fmt(medium.prob_undetected_sdc, 4)});
+    }
+    util.print();
+    std::printf("\n");
+    vuln.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Paper shape check: all schemes ~0.5 at 1K sockets; strong falls "
+      "fastest (to ~1/3 at 256K with delta=180);\nmedium roughly halves the "
+      "undetected-SDC probability of weak at negligible utilization cost.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 8: single-checkpoint overhead decomposition (local checkpoint /
+// checkpoint transfer / comparison) for the six mini-app variants of
+// Table 2, under default / mixed / column mappings and the checksum
+// method, from 1K to 64K cores per replica (256 - 16384 BG/P nodes).
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/phase_model.h"
+
+using namespace acr;
+using namespace acr::sim;
+
+int main() {
+  // 4 cores per BG/P node: 1k..64k cores per replica.
+  const std::vector<int> nodes_per_replica = {256, 1024, 4096, 16384};
+  const DetectionMode modes[] = {DetectionMode::FullDefault,
+                                 DetectionMode::FullMixed,
+                                 DetectionMode::FullColumn,
+                                 DetectionMode::Checksum};
+
+  for (const auto& app : apps::kTable2) {
+    std::printf("Figure 8 — %s (%s, %s): single checkpoint overhead (s)\n",
+                app.name, app.model, app.config);
+    TablePrinter table({"cores/replica", "mode", "local ckpt", "transfer",
+                        "comparison", "total"});
+    for (int nodes : nodes_per_replica) {
+      for (DetectionMode mode : modes) {
+        PhaseModel pm(nodes, app);
+        CheckpointPhases p = pm.checkpoint_phases(mode);
+        table.add_row({std::to_string(nodes * apps::kCoresPerNode),
+                       detection_mode_name(mode),
+                       TablePrinter::fmt(p.local_checkpoint, 4),
+                       TablePrinter::fmt(p.transfer, 4),
+                       TablePrinter::fmt(p.comparison, 4),
+                       TablePrinter::fmt(p.total(), 4)});
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Paper shape check: default transfer grows ~4x from 1K to 4K cores "
+      "per replica (Z: 8->32) then flattens;\ncolumn/mixed/checksum are "
+      "scale-invariant; checksum wins for the small-checkpoint MD apps but "
+      "loses to column\nfor the high-memory-pressure apps (extra ~4 "
+      "instructions/byte of compute).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 9: ACR forward-path overhead per replica (%) for Jacobi3D and
+// LeanMD when checkpointing at the model-optimal interval (§5), for the
+// strong/medium/weak schemes under default / default+checksum / column /
+// column+checksum detection variants, 1K-16K sockets per replica.
+// Failure parameters follow §6.2: 50 years/socket hard MTBF, 10,000
+// FIT/socket SDC.
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "model/acr_model.h"
+#include "sim/phase_model.h"
+
+using namespace acr;
+using namespace acr::sim;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  DetectionMode mode;
+};
+
+constexpr Variant kVariants[] = {
+    {"default", DetectionMode::FullDefault},
+    {"default+checksum", DetectionMode::Checksum},
+    {"column", DetectionMode::FullColumn},
+    {"column+checksum", DetectionMode::Checksum},
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<int> sockets = {1024, 4096, 16384};
+  const apps::MiniAppSpec* specs[] = {&apps::kTable2[0], &apps::kTable2[4]};
+
+  for (const auto* app : specs) {
+    std::printf("Figure 9 — %s: forward-path overhead per replica (%%)\n",
+                app->name);
+    TablePrinter table({"sockets/replica", "variant", "delta (s)",
+                        "tau* strong (s)", "strong %", "medium %", "weak %"});
+    for (int s : sockets) {
+      for (const Variant& v : kVariants) {
+        PhaseModel pm(s, *app);
+        double delta = pm.checkpoint_phases(v.mode).total();
+
+        model::SystemParams p;
+        p.work = 24.0 * model::kSecondsPerHour;
+        p.checkpoint_cost = delta;
+        p.restart_hard = pm.restart_strong().total();
+        p.restart_sdc = pm.restart_sdc().total();
+        p.socket_mtbf_hard = 50.0 * model::kSecondsPerYear;
+        p.sdc_fit_per_socket = 10000.0;
+        p.sockets_per_replica = s;
+        model::AcrModel m(p);
+
+        auto forward_pct = [&](model::Scheme scheme) {
+          model::SchemeEvaluation e = m.evaluate(scheme);
+          return e.checkpoint_time / p.work * 100.0;
+        };
+        table.add_row(
+            {std::to_string(s), v.name, TablePrinter::fmt(delta, 3),
+             TablePrinter::fmt(m.optimal_tau(model::Scheme::Strong), 4),
+             TablePrinter::fmt(forward_pct(model::Scheme::Strong), 3),
+             TablePrinter::fmt(forward_pct(model::Scheme::Medium), 3),
+             TablePrinter::fmt(forward_pct(model::Scheme::Weak), 3)});
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Paper shape check: overhead grows with socket count (failure rate); "
+      "strong checkpoints more often so it pays\nslightly more; checksum or "
+      "column mapping roughly halves the default-mapping overhead; LeanMD "
+      "is an order of\nmagnitude cheaper than Jacobi3D (its optimal "
+      "interval at 16K sockets is tens of seconds vs ~130 s).\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Microbenchmark (google-benchmark): the §4.2 checksum trade-off on real
+// hardware. Sending the full checkpoint costs one pass over the data
+// (copy into the message buffer, beta per byte on the wire); the checksum
+// costs ~4 instructions per byte of compute but ships 8 bytes. The paper's
+// criterion: checksum wins iff gamma < beta / 4.
+//
+// Also measures the PUP pack / compare rates that calibrate the phase
+// model, so the calibration is reproducible on the build machine.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "checksum/crc32c.h"
+#include "checksum/fletcher.h"
+#include "common/rng.h"
+#include "pup/checker.h"
+#include "pup/pup.h"
+
+namespace {
+
+std::vector<std::byte> make_buffer(std::size_t size) {
+  std::vector<std::byte> buf(size);
+  acr::Pcg32 rng(size, 3);
+  for (auto& b : buf) b = static_cast<std::byte>(rng.bounded(256));
+  return buf;
+}
+
+void BM_Fletcher64(benchmark::State& state) {
+  auto buf = make_buffer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acr::checksum::fletcher64(buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Fletcher64)->Range(1 << 10, 1 << 22);
+
+void BM_MemcpyToMessageBuffer(benchmark::State& state) {
+  auto buf = make_buffer(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::byte> out(buf.size());
+  for (auto _ : state) {
+    std::memcpy(out.data(), buf.data(), buf.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MemcpyToMessageBuffer)->Range(1 << 10, 1 << 22);
+
+void BM_Crc32c(benchmark::State& state) {
+  auto buf = make_buffer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acr::checksum::crc32c(buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Range(1 << 10, 1 << 22);
+
+struct BigState {
+  std::vector<double> a, b, c;
+  void pup(acr::pup::Puper& p) {
+    p | a;
+    p | b;
+    p | c;
+  }
+};
+
+BigState make_state(std::size_t doubles) {
+  BigState s;
+  acr::Pcg32 rng(doubles, 5);
+  s.a.resize(doubles / 3);
+  s.b.resize(doubles / 3);
+  s.c.resize(doubles - 2 * (doubles / 3));
+  for (auto* v : {&s.a, &s.b, &s.c})
+    for (auto& x : *v) x = rng.uniform();
+  return s;
+}
+
+void BM_PupPack(benchmark::State& state) {
+  BigState s = make_state(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    acr::pup::Packer p;
+    p | s;
+    benchmark::DoNotOptimize(p.bytes_written());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 8);
+}
+BENCHMARK(BM_PupPack)->Range(1 << 10, 1 << 20);
+
+void BM_CheckerCompare(benchmark::State& state) {
+  BigState s = make_state(static_cast<std::size_t>(state.range(0)));
+  acr::pup::Checkpoint a = acr::pup::make_checkpoint(s);
+  acr::pup::Checkpoint b = acr::pup::make_checkpoint(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acr::pup::compare_checkpoints(a, b).match);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 8);
+}
+BENCHMARK(BM_CheckerCompare)->Range(1 << 10, 1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

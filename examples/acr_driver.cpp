@@ -1,0 +1,198 @@
+// acr_driver — configurable command-line front end for the framework.
+//
+// Runs any of the five mini-apps under any recovery scheme with optional
+// fault injection, adaptivity, and prediction, then prints the run summary
+// and the trace analytics. This is the "just try it" binary:
+//
+//   ./build/examples/acr_driver --app=jacobi --scheme=strong \
+//       --nodes=8 --interval=0.004 --fault-mtbf=0.02 --sdc-fraction=0.3
+//
+//   ./build/examples/acr_driver --app=leanmd --adaptive --weibull-shape=0.6
+//
+//   ./build/examples/acr_driver --help
+#include <cstdio>
+
+#include "acr/runtime.h"
+#include "acr/stats.h"
+#include "apps/hpccg.h"
+#include "apps/jacobi3d.h"
+#include "apps/leanmd.h"
+#include "apps/minilulesh.h"
+#include "apps/minimd.h"
+#include "common/cli.h"
+#include "failure/distributions.h"
+
+using namespace acr;
+
+int main(int argc, char** argv) {
+  std::string app = "jacobi";
+  std::string scheme = "strong";
+  std::string detection = "full";
+  int nodes = 8;
+  int spares = 4;
+  int iterations = 60;
+  double interval = 0.004;
+  bool adaptive = false;
+  double fault_mtbf = 0.0;
+  double sdc_fraction = 0.3;
+  double weibull_shape = 0.0;
+  double predictor_recall = 0.0;
+  std::uint64_t seed = 1;
+  bool trace = false;
+
+  CliParser cli(
+      "acr_driver — run a mini-app under ACR's replication-enhanced "
+      "checkpoint/restart on the virtual cluster");
+  cli.add_choice("app", &app, {"jacobi", "hpccg", "lulesh", "leanmd", "minimd"},
+                 "mini-application to run");
+  cli.add_choice("scheme", &scheme, {"strong", "medium", "weak", "hardonly"},
+                 "recovery scheme (§2.3)");
+  cli.add_choice("detection", &detection, {"full", "checksum"},
+                 "SDC detection method (§4.2)");
+  cli.add_int("nodes", &nodes, "nodes per replica");
+  cli.add_int("spares", &spares, "spare node pool size");
+  cli.add_int("iterations", &iterations, "application iterations");
+  cli.add_double("interval", &interval, "checkpoint interval, seconds");
+  cli.add_flag("adaptive", &adaptive, "adapt the interval to failures (§2.2)");
+  cli.add_double("fault-mtbf", &fault_mtbf,
+                 "mean time between injected faults (0 = no injection)");
+  cli.add_double("sdc-fraction", &sdc_fraction,
+                 "fraction of injected faults that are bit flips");
+  cli.add_double("weibull-shape", &weibull_shape,
+                 "use a Weibull failure process with this shape (0 = Poisson)");
+  cli.add_double("predictor-recall", &predictor_recall,
+                 "enable the failure predictor with this recall (0 = off)");
+  cli.add_uint64("seed", &seed, "master random seed");
+  cli.add_flag("trace", &trace, "print the full protocol event trace");
+  if (!cli.parse(argc, argv)) return 2;
+
+  // --- assemble the configuration -------------------------------------------
+  AcrConfig ac;
+  ac.scheme = scheme == "strong"   ? ResilienceScheme::Strong
+              : scheme == "medium" ? ResilienceScheme::Medium
+              : scheme == "weak"   ? ResilienceScheme::Weak
+                                   : ResilienceScheme::HardOnly;
+  ac.detection = detection == "checksum" ? SdcDetection::Checksum
+                                         : SdcDetection::FullCompare;
+  ac.checkpoint_interval = interval;
+  ac.adaptive = adaptive;
+  ac.adaptive_config.checkpoint_cost = interval / 20.0;
+  ac.adaptive_config.min_interval = interval / 4.0;
+  ac.adaptive_config.max_interval = interval * 8.0;
+  ac.heartbeat_period = 0.0005;
+  ac.heartbeat_timeout = 0.002;
+
+  rt::ClusterConfig cc;
+  cc.nodes_per_replica = nodes;
+  cc.spare_nodes = spares;
+  cc.seed = seed;
+
+  AcrRuntime runtime(ac, cc);
+
+  auto iters = static_cast<std::uint64_t>(iterations);
+  if (app == "jacobi") {
+    apps::Jacobi3DConfig cfg;
+    cfg.tasks_x = cfg.tasks_y = 2;
+    cfg.tasks_z = nodes;  // 2 tasks per node, slabs along z
+    cfg.block_x = cfg.block_y = cfg.block_z = 4;
+    cfg.slots_per_node = 4;
+    cfg.iterations = iters;
+    cfg.seconds_per_point = 1e-5;
+    runtime.set_task_factory(cfg.factory());
+  } else if (app == "hpccg") {
+    apps::HpccgConfig cfg;
+    cfg.nx = cfg.ny = cfg.nz = 6;
+    cfg.num_tasks = nodes;  // must be a power of two
+    cfg.iterations = iters;
+    cfg.seconds_per_flop = 1e-7;
+    runtime.set_task_factory(cfg.factory());
+  } else if (app == "lulesh") {
+    apps::MiniLuleshConfig cfg;
+    cfg.ex = cfg.ey = cfg.ez = 5;
+    cfg.num_tasks = nodes;
+    cfg.iterations = iters;
+    cfg.seconds_per_element = 2e-5;
+    runtime.set_task_factory(cfg.factory());
+  } else if (app == "leanmd") {
+    apps::LeanMdConfig cfg;
+    cfg.atoms_per_task = 32;
+    cfg.num_tasks = 2 * nodes;
+    cfg.slots_per_node = 2;
+    cfg.iterations = iters;
+    cfg.seconds_per_pair = 1e-5;
+    runtime.set_task_factory(cfg.factory());
+  } else {
+    apps::MiniMdConfig cfg;
+    cfg.atoms_per_task = 32;
+    cfg.num_tasks = nodes;
+    cfg.iterations = iters;
+    cfg.seconds_per_pair = 1e-5;
+    runtime.set_task_factory(cfg.factory());
+  }
+
+  runtime.setup();
+
+  if (predictor_recall > 0.0) {
+    PredictorConfig pred;
+    pred.recall = predictor_recall;
+    pred.precision = 0.8;
+    pred.lead_time = interval / 4.0;
+    runtime.set_predictor(pred);
+  }
+  if (fault_mtbf > 0.0) {
+    FaultPlan plan;
+    if (weibull_shape > 0.0) {
+      plan.arrivals = std::make_shared<failure::WeibullProcess>(
+          weibull_shape, fault_mtbf);
+    } else {
+      plan.arrivals = std::make_shared<failure::RenewalProcess>(
+          std::make_shared<failure::Exponential>(fault_mtbf));
+    }
+    plan.sdc_fraction = sdc_fraction;
+    runtime.set_fault_plan(plan);
+  }
+
+  RunSummary s = runtime.run(/*max_virtual_time=*/600.0);
+
+  // --- report -----------------------------------------------------------------
+  std::printf("app=%s scheme=%s detection=%s nodes/replica=%d\n", app.c_str(),
+              scheme.c_str(), detection.c_str(), nodes);
+  std::printf("outcome: %s at t=%.4f s (virtual)\n",
+              s.complete ? "COMPLETE" : (s.failed ? "FAILED" : "TIMED OUT"),
+              s.finish_time);
+  std::printf(
+      "checkpoints=%llu  hard failures=%llu  recoveries=%llu  "
+      "SDC injected/detected=%llu/%llu  scratch restarts=%llu\n",
+      static_cast<unsigned long long>(s.checkpoints),
+      static_cast<unsigned long long>(s.hard_failures),
+      static_cast<unsigned long long>(s.recoveries),
+      static_cast<unsigned long long>(s.sdc_injected),
+      static_cast<unsigned long long>(s.sdc_detected),
+      static_cast<unsigned long long>(s.scratch_restarts));
+
+  TraceSummary ts = summarize_trace(runtime.trace());
+  RunningStats consensus = ts.consensus_latency_stats();
+  RunningStats commit = ts.commit_latency_stats();
+  RunningStats recovery = ts.recovery_duration_stats();
+  if (consensus.count() > 0)
+    std::printf("checkpoint consensus latency: mean %.4f ms, max %.4f ms\n",
+                consensus.mean() * 1e3, consensus.max() * 1e3);
+  if (commit.count() > 0)
+    std::printf("checkpoint request->commit:   mean %.4f ms  (%.2f%% of run)\n",
+                commit.mean() * 1e3, ts.checkpoint_time_fraction() * 100.0);
+  if (recovery.count() > 0)
+    std::printf("recovery duration:            mean %.4f ms, max %.4f ms\n",
+                recovery.mean() * 1e3, recovery.max() * 1e3);
+  if (ts.failures_detected > 0)
+    std::printf("failure detection latency:    mean %.4f ms\n",
+                ts.mean_detection_latency * 1e3);
+
+  if (trace) {
+    std::printf("\nprotocol trace:\n");
+    for (const auto& e : runtime.trace().events())
+      std::printf("  %9.4f  %-24s r=%d n=%d %s\n", e.time,
+                  rt::trace_kind_name(e.kind), e.replica, e.node_index,
+                  e.detail.c_str());
+  }
+  return s.complete ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+// The §2.3 resilience trade-off, live.
+//
+// Reproduces the paper's central design discussion with a single adversarial
+// scenario: a silent bit flip lands in the healthy replica moments before
+// the other replica loses a node. Each recovery scheme reacts differently:
+//   strong — the crashed replica recomputes the interval cleanly; the next
+//            comparison exposes the corruption; both roll back. 100% SDC
+//            protection, slowest.
+//   medium — the healthy replica's immediate recovery checkpoint copies the
+//            corruption to both replicas; it is never detected again.
+//   weak   — same exposure, one full checkpoint period wide.
+//
+// Build & run:  ./build/examples/scheme_tradeoffs
+#include <cstdio>
+
+#include "acr/runtime.h"
+#include "apps/jacobi3d.h"
+#include "checksum/fletcher.h"
+
+using namespace acr;
+
+namespace {
+
+apps::Jacobi3DConfig jacobi_config() {
+  apps::Jacobi3DConfig cfg;
+  cfg.tasks_x = cfg.tasks_y = cfg.tasks_z = 2;
+  cfg.block_x = cfg.block_y = cfg.block_z = 5;
+  cfg.iterations = 40;
+  cfg.slots_per_node = 2;
+  cfg.seconds_per_point = 8e-6;
+  return cfg;
+}
+
+struct Outcome {
+  bool complete = false;
+  std::uint64_t digest = 0;
+  std::uint64_t sdc_detected = 0;
+  double finish = 0.0;
+};
+
+Outcome run_scheme(ResilienceScheme scheme, bool inject) {
+  apps::Jacobi3DConfig j = jacobi_config();
+  AcrConfig ac;
+  ac.scheme = scheme;
+  ac.checkpoint_interval = 0.004;
+  ac.heartbeat_period = 0.0005;
+  ac.heartbeat_timeout = 0.002;
+  rt::ClusterConfig cc;
+  cc.nodes_per_replica = j.nodes_needed();
+  cc.spare_nodes = 2;
+  AcrRuntime runtime(ac, cc);
+  runtime.set_task_factory(j.factory());
+  runtime.setup();
+  if (inject) {
+    runtime.engine().schedule_at(0.0052, [&runtime] {
+      auto& task = static_cast<apps::Jacobi3DTask&>(
+          runtime.cluster().node_at(0, 1).task(0));
+      task.value_at(2, 2, 2) += 1.0;  // SDC in the (soon-to-be) healthy replica
+    });
+    runtime.engine().schedule_at(0.0054, [&runtime] {
+      runtime.cluster().kill_role(1, 2);  // hard failure in the other one
+    });
+  }
+  RunSummary s = runtime.run(100.0);
+  Outcome o;
+  o.complete = s.complete;
+  o.sdc_detected = s.sdc_detected;
+  o.finish = s.finish_time;
+  runtime.engine().run_until(s.finish_time + 0.1);
+  checksum::Fletcher64 f;
+  for (int i = 0; i < runtime.cluster().nodes_per_replica(); ++i)
+    f.append(runtime.cluster().node_at(0, i).pack_state().bytes());
+  o.digest = f.digest();
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  Outcome reference = run_scheme(ResilienceScheme::Strong, /*inject=*/false);
+  std::printf("reference (failure-free): digest=%016llx  t=%.3f s\n\n",
+              static_cast<unsigned long long>(reference.digest),
+              reference.finish);
+
+  std::printf("scenario: SDC in replica 0 at t=5.2 ms, node crash in "
+              "replica 1 at t=5.4 ms\n\n");
+  std::printf("%-8s %-9s %-13s %-18s %-9s\n", "scheme", "complete",
+              "SDC detected", "result vs reference", "time (s)");
+  for (ResilienceScheme scheme :
+       {ResilienceScheme::Strong, ResilienceScheme::Medium,
+        ResilienceScheme::Weak}) {
+    Outcome o = run_scheme(scheme, /*inject=*/true);
+    std::printf("%-8s %-9s %-13llu %-18s %-9.3f\n",
+                resilience_scheme_name(scheme), o.complete ? "yes" : "no",
+                static_cast<unsigned long long>(o.sdc_detected),
+                o.digest == reference.digest ? "IDENTICAL"
+                                             : "SILENTLY CORRUPTED",
+                o.finish);
+  }
+  std::printf(
+      "\nThe trade-off of §2.3 in one table: strong detects and repairs the "
+      "corruption (and pays for it in time);\nmedium and weak finish faster "
+      "but commit the corrupted state — their replicas agree with each "
+      "other,\nso no later comparison can ever notice.\n");
+  return 0;
+}

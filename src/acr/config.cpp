@@ -1,0 +1,23 @@
+#include "acr/config.h"
+
+namespace acr {
+
+const char* resilience_scheme_name(ResilienceScheme s) {
+  switch (s) {
+    case ResilienceScheme::HardOnly: return "hard-only";
+    case ResilienceScheme::Strong: return "strong";
+    case ResilienceScheme::Medium: return "medium";
+    case ResilienceScheme::Weak: return "weak";
+  }
+  return "?";
+}
+
+const char* sdc_detection_name(SdcDetection d) {
+  switch (d) {
+    case SdcDetection::FullCompare: return "full-compare";
+    case SdcDetection::Checksum: return "checksum";
+  }
+  return "?";
+}
+
+}  // namespace acr

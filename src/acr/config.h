@@ -1,0 +1,61 @@
+// ACR framework configuration.
+#pragma once
+
+#include "failure/adaptive_interval.h"
+#include "pup/checker.h"
+
+namespace acr {
+
+/// Recovery schemes of §2.3 / Fig. 5. HardOnly is the Fig. 5(a) mode: no
+/// periodic checkpoints, recovery via an immediate checkpoint of the
+/// healthy replica (no SDC protection at all).
+enum class ResilienceScheme { HardOnly, Strong, Medium, Weak };
+
+const char* resilience_scheme_name(ResilienceScheme s);
+
+/// How checkpoints are compared across replicas (§4.2).
+enum class SdcDetection {
+  FullCompare,  ///< ship the full checkpoint to the buddy, compare streams
+  Checksum,     ///< ship an 8-byte position-dependent Fletcher-64 digest
+};
+
+const char* sdc_detection_name(SdcDetection d);
+
+struct AcrConfig {
+  ResilienceScheme scheme = ResilienceScheme::Strong;
+  SdcDetection detection = SdcDetection::FullCompare;
+
+  /// Periodic checkpointing (disabled in HardOnly mode regardless).
+  bool periodic_checkpoints = true;
+  /// Fixed checkpoint period, seconds (used when !adaptive).
+  double checkpoint_interval = 10.0;
+
+  /// Adapt the period to the observed failure rate (§2.2, Fig. 12).
+  bool adaptive = false;
+  failure::AdaptiveIntervalConfig adaptive_config;
+
+  /// Buddy heartbeat period and the silence threshold after which the
+  /// buddy is declared dead (§6.1's no-response fail-stop detection).
+  double heartbeat_period = 0.05;
+  double heartbeat_timeout = 0.25;
+
+  /// Semi-blocking checkpointing (§4.2's "asynchronous checkpointing"
+  /// future work, after Ni et al., Cluster'12): tasks resume as soon as
+  /// their local checkpoint is serialized, overlapping the inter-replica
+  /// transfer and comparison with application execution. Detection is
+  /// unchanged — a mismatch still rolls both replicas back to the last
+  /// verified checkpoint — but the forward path no longer stalls for the
+  /// transfer/compare phases.
+  bool semi_blocking = false;
+
+  /// Run one final cross-replica comparison checkpoint after both replicas
+  /// finish, before declaring the job successful. Without it, corruption
+  /// striking in the tail (after the last periodic checkpoint) would go
+  /// out the door unverified. Ignored in HardOnly mode.
+  bool verify_at_completion = true;
+
+  /// Stream comparison tolerances (FullCompare mode).
+  pup::CheckerConfig checker;
+};
+
+}  // namespace acr

@@ -1,0 +1,596 @@
+#include "acr/manager.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace acr {
+
+namespace {
+constexpr double kDrainRetry = 1e-4;  ///< in-flight drain poll interval (s)
+}
+
+Manager::Manager(AcrEnv env, AgentInstaller installer)
+    : env_(env),
+      installer_(std::move(installer)),
+      adaptive_(env.config->adaptive_config) {
+  ACR_REQUIRE(env_.cluster != nullptr && env_.config != nullptr,
+              "manager needs a cluster and a config");
+  if (env_.config->scheme == ResilienceScheme::Weak)
+    ACR_REQUIRE(env_.config->periodic_checkpoints,
+                "weak resilience recovers at the next periodic checkpoint; "
+                "periodic checkpointing must be enabled");
+}
+
+double Manager::now() const { return env_.cluster->engine().now(); }
+rt::TraceLog& Manager::trace() { return env_.cluster->trace(); }
+
+double Manager::current_interval() const {
+  if (env_.config->adaptive) return adaptive_.next_interval(now());
+  return env_.config->checkpoint_interval;
+}
+
+void Manager::start() {
+  env_.cluster->set_manager_hook(
+      [this](const rt::Message& m) { on_message(m); });
+  if (env_.config->periodic_checkpoints &&
+      env_.config->scheme != ResilienceScheme::HardOnly)
+    schedule_tick();
+  guard_tick();
+}
+
+void Manager::guard_tick() {
+  if (complete_ || failed_) return;
+  // A node whose buddy, tree parent, and tree children are all dead has no
+  // heartbeat observer left. The machine's RAS view (the scheduler knows
+  // which nodes answer) closes that gap.
+  for (int r = 0; r < 2; ++r) {
+    for (int i = 0; i < env_.cluster->nodes_per_replica(); ++i) {
+      if (env_.cluster->role_alive(r, i)) continue;
+      if (dead_roles_.count({r, i})) continue;
+      trace().record(now(), rt::TraceKind::HardFailureDetected, r, i,
+                     "(RAS sweep)");
+      handle_suspect_role(r, i);
+      if (complete_ || failed_) return;
+    }
+  }
+  env_.cluster->engine().schedule_after(
+      10.0 * env_.config->heartbeat_timeout, [this]() { guard_tick(); });
+}
+
+void Manager::schedule_tick() {
+  if (complete_ || failed_) return;
+  if (!env_.config->periodic_checkpoints ||
+      env_.config->scheme == ResilienceScheme::HardOnly)
+    return;
+  if (tick_armed_) env_.cluster->engine().cancel(tick_id_);
+  tick_id_ = env_.cluster->engine().schedule_after(current_interval(),
+                                                   [this]() { tick(); });
+  tick_armed_ = true;
+}
+
+void Manager::tick() {
+  tick_armed_ = false;
+  if (complete_ || failed_) return;
+  if (ckpt_ || recovery_) {
+    // Busy with another protocol; retry shortly.
+    tick_id_ = env_.cluster->engine().schedule_after(
+        std::max(0.01, current_interval() * 0.1), [this]() { tick(); });
+    tick_armed_ = true;
+    return;
+  }
+  if (weak_recovery_pending_) {
+    // Weak scheme: the crashed replica has been waiting for this periodic
+    // checkpoint (Fig. 4c); run it on the healthy replica and ship it over.
+    weak_recovery_pending_ = false;
+    begin_recovery_checkpoint(weak_crashed_replica_);
+    return;
+  }
+  request_checkpoint(/*participants=*/3, CkptPurpose::Periodic);
+}
+
+void Manager::request_immediate_checkpoint() {
+  if (complete_ || failed_ || ckpt_ || recovery_) return;
+  request_checkpoint(3, CkptPurpose::Periodic);
+}
+
+void Manager::broadcast(int replica, int tag, std::vector<std::byte> payload) {
+  for (int i = 0; i < env_.cluster->nodes_per_replica(); ++i)
+    env_.cluster->send_from_manager(replica, i, tag, payload);
+}
+
+void Manager::broadcast_participants(std::uint8_t participants, int tag,
+                                     std::vector<std::byte> payload) {
+  for (int r = 0; r < 2; ++r)
+    if (participants & (1u << r)) broadcast(r, tag, payload);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint path.
+// ---------------------------------------------------------------------------
+
+void Manager::request_checkpoint(std::uint8_t participants,
+                                 CkptPurpose purpose) {
+  ACR_REQUIRE(!ckpt_, "checkpoint already in progress");
+  ActiveCheckpoint c;
+  c.epoch = next_epoch_++;
+  c.participants = participants;
+  c.purpose = purpose;
+  c.quiesced_pending = std::popcount(participants);
+  c.ready_pending = c.quiesced_pending;
+  c.packdone_pending = purpose == CkptPurpose::Recovery
+                           ? env_.cluster->nodes_per_replica()
+                           : 0;
+  ckpt_ = c;
+  trace().record(now(), rt::TraceKind::CheckpointRequested, -1, -1,
+                 "epoch=" + std::to_string(c.epoch) +
+                     (purpose == CkptPurpose::Recovery ? " (recovery)" : ""));
+  wire::CkptRequestMsg msg{c.epoch, participants};
+  broadcast_participants(participants, wire::kCheckpointRequest,
+                         rt::pack_payload(msg));
+}
+
+void Manager::handle_replica_quiesced(const wire::ProgressMsg& msg) {
+  if (!ckpt_ || msg.epoch != ckpt_->epoch) return;
+  ckpt_->max_progress = std::max(ckpt_->max_progress, msg.max_progress);
+  if (--ckpt_->quiesced_pending > 0) return;
+  trace().record(now(), rt::TraceKind::CheckpointIterationDecided, -1, -1,
+                 "iteration=" + std::to_string(ckpt_->max_progress));
+  wire::IterationMsg decided{ckpt_->epoch, ckpt_->max_progress};
+  broadcast_participants(ckpt_->participants, wire::kIterationDecided,
+                         rt::pack_payload(decided));
+}
+
+void Manager::handle_replica_ready(const wire::ReadyMsg& msg) {
+  if (!ckpt_ || msg.epoch != ckpt_->epoch) return;
+  if (--ckpt_->ready_pending > 0) return;
+  try_start_pack();
+}
+
+void Manager::try_start_pack() {
+  if (!ckpt_) return;
+  // Completion detection: every task is paused at the decided iteration; the
+  // checkpoint may be cut only once the wires are silent too.
+  for (int r = 0; r < 2; ++r) {
+    if (!(ckpt_->participants & (1u << r))) continue;
+    if (env_.cluster->in_flight_app_messages(r) > 0) {
+      env_.cluster->engine().schedule_after(kDrainRetry,
+                                            [this]() { try_start_pack(); });
+      return;
+    }
+  }
+  trace().record(now(), rt::TraceKind::CheckpointPacked, -1, -1,
+                 "epoch=" + std::to_string(ckpt_->epoch));
+  wire::EpochMsg msg{ckpt_->epoch};
+  broadcast_participants(ckpt_->participants, wire::kPackCommand,
+                         rt::pack_payload(msg));
+}
+
+void Manager::handle_verdict(const wire::VerdictMsg& msg) {
+  if (!ckpt_ || msg.epoch != ckpt_->epoch) return;
+  if (msg.match) {
+    commit_checkpoint();
+  } else {
+    trace().record(now(), rt::TraceKind::SdcDetected, -1, -1,
+                   "mismatched_nodes=" + std::to_string(msg.mismatched_nodes));
+    rollback_sdc();
+  }
+}
+
+void Manager::commit_checkpoint() {
+  verified_epoch_ = ckpt_->epoch;
+  ++committed_;
+  trace().record(now(), rt::TraceKind::CheckpointCommitted, -1, -1,
+                 "epoch=" + std::to_string(ckpt_->epoch));
+  wire::EpochMsg msg{ckpt_->epoch};
+  broadcast_participants(3, wire::kCommit, rt::pack_payload(msg));
+  bool was_final = final_verify_epoch_ != 0 && ckpt_->epoch == final_verify_epoch_;
+  ckpt_.reset();
+  if (was_final) {
+    final_verify_epoch_ = 0;
+    declare_complete(-1);
+    return;
+  }
+  schedule_tick();
+  maybe_finalize();
+}
+
+void Manager::rollback_sdc() {
+  ++sdc_rollbacks_;
+  final_verify_epoch_ = 0;
+  // A detected SDC is a failure observation for the adaptive controller.
+  if (env_.config->adaptive) adaptive_.on_failure(now());
+  if (verified_epoch_ == 0) {
+    // Nothing verified to fall back to: the corruption predates the first
+    // checkpoint, so the run restarts from scratch.
+    ckpt_.reset();
+    restart_from_scratch();
+    return;
+  }
+  trace().record(now(), rt::TraceKind::Rollback, -1, -1,
+                 "to epoch=" + std::to_string(verified_epoch_));
+  env_.cluster->bump_app_epoch(0);
+  env_.cluster->bump_app_epoch(1);
+  for (int r = 0; r < 2; ++r) done_nodes_[static_cast<std::size_t>(r)].clear();
+  std::uint64_t barrier_id = next_barrier_++;
+  wire::RestoreCmdMsg msg{verified_epoch_, barrier_id};
+  broadcast_participants(3, wire::kRollbackSdc, rt::pack_payload(msg));
+  ckpt_.reset();
+  // Both replicas restore; the resume barrier (finish_recovery) reopens
+  // the world once every node reports in.
+  ActiveRecovery barrier;
+  barrier.crashed_replica = -1;
+  barrier.restore_pending = 2 * env_.cluster->nodes_per_replica();
+  barrier.restored_replicas = 3;
+  barrier.counts_as_recovery = false;
+  barrier.barrier = barrier_id;
+  recovery_ = barrier;
+}
+
+void Manager::handle_pack_done(const wire::EpochMsg& msg) {
+  if (!ckpt_ || msg.epoch != ckpt_->epoch ||
+      ckpt_->purpose != CkptPurpose::Recovery)
+    return;
+  if (--ckpt_->packdone_pending > 0) return;
+  // Healthy replica fully packed. Ship every node's fresh checkpoint to its
+  // buddy in the crashed replica, commit it on the healthy side, and wait
+  // for the crashed side to restore.
+  ACR_REQUIRE(recovery_, "recovery checkpoint without active recovery");
+  int crashed = recovery_->crashed_replica;
+  int healthy = 1 - crashed;
+  env_.cluster->bump_app_epoch(crashed);
+  done_nodes_[static_cast<std::size_t>(crashed)].clear();
+  wire::BarrierMsg bar{recovery_->barrier};
+  broadcast(healthy, wire::kSendCandidateToBuddy, rt::pack_payload(bar));
+  verified_epoch_ = ckpt_->epoch;
+  ++committed_;
+  wire::EpochMsg commit{ckpt_->epoch};
+  broadcast(healthy, wire::kCommit, rt::pack_payload(commit));
+  trace().record(now(), rt::TraceKind::CheckpointCommitted, healthy, -1,
+                 "recovery epoch=" + std::to_string(ckpt_->epoch));
+  ckpt_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Failure path.
+// ---------------------------------------------------------------------------
+
+void Manager::handle_suspect(const wire::SuspectMsg& msg) {
+  if (env_.cluster->role_alive(msg.replica, msg.node_index)) return;  // stale
+  trace().record(now(), rt::TraceKind::HardFailureDetected, msg.replica,
+                 msg.node_index);
+  handle_suspect_role(msg.replica, msg.node_index);
+}
+
+void Manager::handle_suspect_role(int replica, int node_index) {
+  if (complete_ || failed_) return;
+  auto role = std::make_pair(replica, node_index);
+  if (dead_roles_.count(role)) return;
+  dead_roles_.insert(role);
+  ++hard_failures_;
+  if (env_.config->adaptive) adaptive_.on_failure(now());
+
+  if (ckpt_) {
+    // A death mid-checkpoint wedges the reductions; abort and resume.
+    broadcast_participants(ckpt_->participants, wire::kAbortConsensus, {});
+    bool was_recovery = ckpt_->purpose == CkptPurpose::Recovery;
+    if (final_verify_epoch_ == ckpt_->epoch) final_verify_epoch_ = 0;
+    ckpt_.reset();
+    if (was_recovery) {
+      // The healthy replica broke while saving the crashed one: fall back
+      // to a verified-epoch rollback of everything.
+      escalate_rollback_all();
+      return;
+    }
+  }
+  if (recovery_ || weak_recovery_pending_) {
+    // Overlapping failures: the paper's answer is a rollback to the
+    // previous checkpoint (or scratch); see §2.3 weak/medium caveats.
+    // The current recovery's restore wave is abandoned (its barrier id
+    // becomes stale) and a wider one starts.
+    recovery_.reset();
+    escalate_rollback_all();
+    return;
+  }
+  start_recovery(role.first, role.second);
+}
+
+bool Manager::promote_and_install(int replica, int node_index) {
+  rt::Node* fresh = env_.cluster->promote_spare(replica, node_index);
+  if (fresh == nullptr) {
+    failed_ = true;
+    trace().record(now(), rt::TraceKind::JobComplete, -1, -1,
+                   "FAILED: spare pool exhausted");
+    return false;
+  }
+  // Gate until the restore lands: traffic addressed to the role belongs to
+  // the timeline being recovered.
+  fresh->set_gated(true);
+  installer_(*fresh);
+  return true;
+}
+
+void Manager::start_recovery(int replica, int node_index) {
+  trace().record(now(), rt::TraceKind::RecoveryStarted, replica, node_index,
+                 resilience_scheme_name(env_.config->scheme));
+  if (!promote_and_install(replica, node_index)) return;
+
+  switch (env_.config->scheme) {
+    case ResilienceScheme::Strong: {
+      if (verified_epoch_ == 0) {
+        restart_from_scratch();
+        return;
+      }
+      int buddy_replica = 1 - replica;
+      if (!env_.cluster->role_alive(buddy_replica, node_index)) {
+        // Both members of the pair are gone: the checkpoint is lost.
+        restart_from_scratch();
+        return;
+      }
+      env_.cluster->bump_app_epoch(replica);
+      done_nodes_[static_cast<std::size_t>(replica)].clear();
+      std::uint64_t barrier = next_barrier_++;
+      // Buddy ships its verified checkpoint to the fresh node; everyone
+      // else in the crashed replica rolls back locally (Fig. 4a).
+      wire::BarrierMsg bar{barrier};
+      env_.cluster->send_from_manager(buddy_replica, node_index,
+                                      wire::kSendVerifiedToBuddy,
+                                      rt::pack_payload(bar));
+      wire::RestoreCmdMsg roll{verified_epoch_, barrier};
+      for (int j = 0; j < env_.cluster->nodes_per_replica(); ++j) {
+        if (j == node_index) continue;
+        env_.cluster->send_from_manager(replica, j, wire::kRollbackHard,
+                                        rt::pack_payload(roll));
+      }
+      ActiveRecovery rec;
+      rec.scheme = ResilienceScheme::Strong;
+      rec.crashed_replica = replica;
+      rec.restore_pending = env_.cluster->nodes_per_replica();
+      rec.restored_replicas = static_cast<std::uint8_t>(1u << replica);
+      rec.barrier = barrier;
+      recovery_ = rec;
+      break;
+    }
+    case ResilienceScheme::Medium:
+    case ResilienceScheme::HardOnly:
+      begin_recovery_checkpoint(replica);
+      break;
+    case ResilienceScheme::Weak:
+      // Fig. 4c: crashed replica waits for the next periodic checkpoint.
+      weak_recovery_pending_ = true;
+      weak_crashed_replica_ = replica;
+      broadcast(replica, wire::kHalt, {});
+      break;
+  }
+}
+
+void Manager::begin_recovery_checkpoint(int crashed_replica) {
+  ActiveRecovery rec;
+  rec.scheme = env_.config->scheme;
+  rec.crashed_replica = crashed_replica;
+  rec.restore_pending = env_.cluster->nodes_per_replica();
+  rec.restored_replicas = static_cast<std::uint8_t>(1u << crashed_replica);
+  rec.barrier = next_barrier_++;
+  recovery_ = rec;
+  std::uint8_t healthy_mask =
+      static_cast<std::uint8_t>(1u << (1 - crashed_replica));
+  request_checkpoint(healthy_mask, CkptPurpose::Recovery);
+}
+
+void Manager::handle_restore_done(const wire::BarrierMsg& msg) {
+  if (!recovery_ || msg.barrier != recovery_->barrier) return;
+  if (--recovery_->restore_pending > 0) return;
+  finish_recovery();
+}
+
+void Manager::finish_recovery() {
+  ACR_REQUIRE(recovery_, "finish_recovery without active recovery");
+  if (recovery_->counts_as_recovery) {
+    trace().record(now(), rt::TraceKind::RecoveryCompleted,
+                   recovery_->crashed_replica);
+    ++recoveries_;
+  }
+  // Second epoch bump at the barrier: anything sent between the restores
+  // and this go is from the abandoned timeline and must not be delivered.
+  for (int r = 0; r < 2; ++r)
+    if (recovery_->restored_replicas & (1u << r))
+      env_.cluster->bump_app_epoch(r);
+  recovery_.reset();
+  dead_roles_.clear();
+  escalated_ = false;
+  broadcast_participants(3, wire::kResume, {});
+  schedule_tick();
+  maybe_finalize();
+}
+
+void Manager::escalate_rollback_all() {
+  // Re-entrant: overlapping failures during an escalation abandon the
+  // current restore wave (its barrier id) and start a fresh one that
+  // covers the newly dead roles as well.
+  if (verified_epoch_ == 0) {
+    restart_from_scratch();
+    return;
+  }
+  // Roles needing a buddy-assisted restore: currently dead ones, plus any
+  // role already under recovery — its occupant may be a freshly promoted
+  // spare that holds no checkpoint yet.
+  for (int r = 0; r < 2; ++r)
+    for (int i = 0; i < env_.cluster->nodes_per_replica(); ++i)
+      if (!env_.cluster->role_alive(r, i)) dead_roles_.insert({r, i});
+  std::vector<std::pair<int, int>> dead(dead_roles_.begin(),
+                                        dead_roles_.end());
+  // If any buddy pair is fully gone, the verified checkpoint cannot be
+  // reassembled.
+  for (const auto& [r, i] : dead) {
+    if (std::find(dead.begin(), dead.end(), std::make_pair(1 - r, i)) !=
+        dead.end()) {
+      restart_from_scratch();
+      return;
+    }
+  }
+  for (const auto& [r, i] : dead) {
+    if (env_.cluster->role_alive(r, i)) continue;  // spare already in place
+    if (!promote_and_install(r, i)) return;
+  }
+  escalated_ = true;
+  weak_recovery_pending_ = false;
+  std::uint64_t barrier_id = next_barrier_++;
+  trace().record(now(), rt::TraceKind::Rollback, -1, -1,
+                 "escalated rollback to epoch=" +
+                     std::to_string(verified_epoch_) + " barrier=" +
+                     std::to_string(barrier_id));
+  env_.cluster->bump_app_epoch(0);
+  env_.cluster->bump_app_epoch(1);
+  done_nodes_[0].clear();
+  done_nodes_[1].clear();
+  wire::RestoreCmdMsg roll{verified_epoch_, barrier_id};
+  wire::BarrierMsg bar{barrier_id};
+  int restores = 0;
+  for (int r = 0; r < 2; ++r) {
+    for (int i = 0; i < env_.cluster->nodes_per_replica(); ++i) {
+      bool was_dead =
+          std::find(dead.begin(), dead.end(), std::make_pair(r, i)) !=
+          dead.end();
+      if (was_dead) {
+        env_.cluster->send_from_manager(1 - r, i, wire::kSendVerifiedToBuddy,
+                                        rt::pack_payload(bar));
+      } else {
+        env_.cluster->send_from_manager(r, i, wire::kRollbackHard,
+                                        rt::pack_payload(roll));
+      }
+      ++restores;
+    }
+  }
+  ActiveRecovery rec;
+  rec.scheme = env_.config->scheme;
+  rec.crashed_replica = -1;
+  rec.restore_pending = restores;
+  rec.restored_replicas = 3;
+  rec.barrier = barrier_id;
+  recovery_ = rec;
+}
+
+void Manager::restart_from_scratch() {
+  ++scratch_restarts_;
+  trace().record(now(), rt::TraceKind::Rollback, -1, -1,
+                 "restart from scratch");
+  // Modelled as a job relaunch by the scheduler: promote spares for every
+  // dead role — including failures that have not been *reported* yet (a
+  // simultaneous buddy-pair loss reaches here on the first report).
+  for (int r = 0; r < 2; ++r) {
+    for (int i = 0; i < env_.cluster->nodes_per_replica(); ++i) {
+      if (!env_.cluster->role_alive(r, i)) {
+        if (!promote_and_install(r, i)) return;
+      }
+    }
+  }
+  dead_roles_.clear();
+  weak_recovery_pending_ = false;
+  escalated_ = false;
+  recovery_.reset();
+  ckpt_.reset();
+  verified_epoch_ = 0;
+  final_verify_epoch_ = 0;
+  env_.cluster->bump_app_epoch(0);
+  env_.cluster->bump_app_epoch(1);
+  done_nodes_[0].clear();
+  done_nodes_[1].clear();
+  env_.cluster->engine().schedule_after(0.0, [this]() {
+    for (int r = 0; r < 2; ++r) {
+      for (int i = 0; i < env_.cluster->nodes_per_replica(); ++i) {
+        rt::Node& n = env_.cluster->node_at(r, i);
+        n.create_tasks();
+        installer_(n);
+        n.start_tasks();
+      }
+    }
+  });
+  broadcast_participants(3, wire::kResume, {});
+  schedule_tick();
+}
+
+// ---------------------------------------------------------------------------
+// Completion.
+// ---------------------------------------------------------------------------
+
+bool Manager::final_verification_enabled() const {
+  return env_.config->verify_at_completion &&
+         env_.config->scheme != ResilienceScheme::HardOnly;
+}
+
+void Manager::declare_complete(int replica) {
+  if (complete_) return;
+  complete_ = true;
+  trace().record(now(), rt::TraceKind::JobComplete, replica, -1,
+                 final_verification_enabled() ? "verified result"
+                                              : "replica finished");
+  if (tick_armed_) env_.cluster->engine().cancel(tick_id_);
+  tick_armed_ = false;
+}
+
+void Manager::maybe_finalize() {
+  if (complete_ || failed_ || !final_verification_enabled()) return;
+  int n = env_.cluster->nodes_per_replica();
+  if (static_cast<int>(done_nodes_[0].size()) != n ||
+      static_cast<int>(done_nodes_[1].size()) != n)
+    return;
+  if (ckpt_ || recovery_ || weak_recovery_pending_) return;
+  if (final_verify_epoch_ != 0) return;  // already running
+  // Final comparison checkpoint: every task sits at its last iteration, so
+  // this cut compares the complete answers of the two replicas.
+  request_checkpoint(3, CkptPurpose::Periodic);
+  final_verify_epoch_ = ckpt_->epoch;
+}
+
+void Manager::handle_node_done(const rt::Message& m) {
+  if (m.src_replica < 0 || m.src_replica > 1) return;
+  auto& set = done_nodes_[static_cast<std::size_t>(m.src_replica)];
+  set.insert(m.src.node_index);
+  if (static_cast<int>(set.size()) != env_.cluster->nodes_per_replica())
+    return;
+  if (!final_verification_enabled()) {
+    declare_complete(m.src_replica);
+    return;
+  }
+  maybe_finalize();
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+void Manager::on_message(const rt::Message& m) {
+  switch (m.tag) {
+    case wire::kReplicaQuiesced:
+      return handle_replica_quiesced(
+          rt::unpack_payload<wire::ProgressMsg>(m));
+    case wire::kReplicaReady:
+      return handle_replica_ready(rt::unpack_payload<wire::ReadyMsg>(m));
+    case wire::kReplicaVerdict:
+      return handle_verdict(rt::unpack_payload<wire::VerdictMsg>(m));
+    case wire::kPackDone:
+      return handle_pack_done(rt::unpack_payload<wire::EpochMsg>(m));
+    case wire::kSuspectDead:
+      return handle_suspect(rt::unpack_payload<wire::SuspectMsg>(m));
+    case wire::kRestoreDone:
+      return handle_restore_done(rt::unpack_payload<wire::BarrierMsg>(m));
+    case wire::kNeedBuddyRestore: {
+      // A checkpoint-less node was told to roll back: route its buddy's
+      // verified image to it under the same barrier.
+      auto need = rt::unpack_payload<wire::BarrierMsg>(m);
+      if (recovery_ && need.barrier == recovery_->barrier &&
+          env_.cluster->role_alive(1 - m.src_replica, m.src.node_index)) {
+        env_.cluster->send_from_manager(1 - m.src_replica, m.src.node_index,
+                                        wire::kSendVerifiedToBuddy,
+                                        rt::pack_payload(need));
+      }
+      return;
+    }
+    case wire::kNodeDone:
+      return handle_node_done(m);
+    default:
+      log_warn("acr.manager") << "unknown tag " << m.tag;
+  }
+}
+
+}  // namespace acr

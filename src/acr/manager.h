@@ -1,0 +1,160 @@
+// Job-level ACR manager.
+//
+// Logically centralized orchestration: checkpoint timing (fixed or
+// adaptive, §2.2), the cross-replica half of the consensus (collecting the
+// two replica roots' reductions and broadcasting the decided iteration),
+// commit/rollback decisions from the SDC verdict, and the three recovery
+// schemes of §2.3. In the paper this role is played by designated runtime
+// nodes; here it is one object whose messages to/from node agents travel
+// through the same modelled network.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "acr/config.h"
+#include "acr/node_agent.h"
+#include "failure/adaptive_interval.h"
+#include "rt/cluster.h"
+
+namespace acr {
+
+class Manager {
+ public:
+  /// Called when a spare node is promoted so the runtime can install a
+  /// fresh NodeAgent on it; returns the agent (already start()ed).
+  using AgentInstaller = std::function<NodeAgent*(rt::Node&)>;
+
+  Manager(AcrEnv env, AgentInstaller installer);
+
+  /// Register as the cluster's manager hook and arm the periodic timer.
+  void start();
+
+  /// Kick off an unscheduled checkpoint right now (failure-prediction hook,
+  /// §2.2: "checkpointing right before a potential failure occurs").
+  void request_immediate_checkpoint();
+
+  bool job_complete() const { return complete_; }
+  bool job_failed() const { return failed_; }
+
+  // --- counters (cross-checked against the TraceLog in tests) ---------------
+  std::uint64_t checkpoints_committed() const { return committed_; }
+  std::uint64_t sdc_rollbacks() const { return sdc_rollbacks_; }
+  std::uint64_t hard_failures_detected() const { return hard_failures_; }
+  std::uint64_t recoveries_completed() const { return recoveries_; }
+  std::uint64_t scratch_restarts() const { return scratch_restarts_; }
+  double current_interval() const;
+  std::uint64_t verified_epoch() const { return verified_epoch_; }
+
+ private:
+  enum class CkptPurpose { Periodic, Recovery };
+
+  struct ActiveCheckpoint {
+    std::uint64_t epoch = 0;
+    std::uint8_t participants = 3;
+    CkptPurpose purpose = CkptPurpose::Periodic;
+    int quiesced_pending = 0;
+    int ready_pending = 0;
+    int packdone_pending = 0;  ///< recovery checkpoints only
+    std::uint64_t max_progress = 0;
+  };
+
+  struct ActiveRecovery {
+    ResilienceScheme scheme = ResilienceScheme::Strong;
+    int crashed_replica = 0;
+    int restore_pending = 0;
+    /// Restore wave this recovery waits on; stale kRestoreDone from an
+    /// abandoned wave (re-escalation) must not count.
+    std::uint64_t barrier = 0;
+    /// Bitmask of replicas whose nodes restored (their app epoch is bumped
+    /// again when the resume barrier opens).
+    std::uint8_t restored_replicas = 0;
+    /// False for plain rollbacks (SDC) that reuse the restore barrier but
+    /// are not hard-error recoveries.
+    bool counts_as_recovery = true;
+  };
+
+  void on_message(const rt::Message& m);
+
+  // Checkpoint path.
+  void request_checkpoint(std::uint8_t participants, CkptPurpose purpose);
+  void handle_replica_quiesced(const wire::ProgressMsg& msg);
+  void handle_replica_ready(const wire::ReadyMsg& msg);
+  void try_start_pack();
+  void handle_verdict(const wire::VerdictMsg& msg);
+  void handle_pack_done(const wire::EpochMsg& msg);
+  void commit_checkpoint();
+  void rollback_sdc();
+
+  // Failure path.
+  void handle_suspect(const wire::SuspectMsg& msg);
+  void handle_suspect_role(int replica, int node_index);
+  void start_recovery(int replica, int node_index);
+  void begin_recovery_checkpoint(int crashed_replica);
+  void handle_restore_done(const wire::BarrierMsg& msg);
+  void finish_recovery();
+  void escalate_rollback_all();
+  void restart_from_scratch();
+  bool promote_and_install(int replica, int node_index);
+
+  // Completion.
+  void handle_node_done(const rt::Message& m);
+  bool final_verification_enabled() const;
+  /// Launch the final verification checkpoint (or declare completion) once
+  /// the preconditions hold; safe to call from any state change.
+  void maybe_finalize();
+  void declare_complete(int replica);
+
+  // Timer.
+  void schedule_tick();
+  void tick();
+
+  // RAS sweep: the external system component of the paper's failure model.
+  // Periodically reconciles the manager's view with actual node liveness,
+  // catching deaths whose heartbeat watchers are themselves dead.
+  void guard_tick();
+
+  // Plumbing.
+  void broadcast(int replica, int tag, std::vector<std::byte> payload);
+  void broadcast_participants(std::uint8_t participants, int tag,
+                              std::vector<std::byte> payload);
+  double now() const;
+  rt::TraceLog& trace();
+
+  AcrEnv env_;
+  AgentInstaller installer_;
+  failure::AdaptiveIntervalController adaptive_;
+
+  std::optional<ActiveCheckpoint> ckpt_;
+  std::optional<ActiveRecovery> recovery_;
+  bool weak_recovery_pending_ = false;
+  int weak_crashed_replica_ = 0;
+  bool escalated_ = false;
+
+  std::set<std::pair<int, int>> dead_roles_;
+  std::array<std::set<int>, 2> done_nodes_;
+  bool complete_ = false;
+  bool failed_ = false;
+
+  std::uint64_t next_epoch_ = 1;
+  std::uint64_t next_barrier_ = 1;
+  std::uint64_t verified_epoch_ = 0;
+  /// Epoch of the in-flight final verification checkpoint (0 = none).
+  std::uint64_t final_verify_epoch_ = 0;
+
+  std::uint64_t committed_ = 0;
+  std::uint64_t sdc_rollbacks_ = 0;
+  std::uint64_t hard_failures_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t scratch_restarts_ = 0;
+
+  rt::Engine::EventId tick_id_ = 0;
+  bool tick_armed_ = false;
+};
+
+}  // namespace acr

@@ -1,0 +1,569 @@
+#include "acr/node_agent.h"
+
+#include <algorithm>
+
+#include "checksum/fletcher.h"
+#include "common/logging.h"
+#include "pup/checker.h"
+
+namespace acr {
+
+namespace {
+constexpr std::uint8_t kPurposeCompare = 0;
+constexpr std::uint8_t kPurposeRestore = 1;
+}  // namespace
+
+NodeAgent::NodeAgent(AcrEnv env, rt::Node& node)
+    : env_(env),
+      node_(node),
+      replica_(node.replica()),
+      index_(node.node_index()),
+      num_nodes_(env.cluster->nodes_per_replica()) {
+  ACR_REQUIRE(node.assigned(), "agent requires an assigned node");
+  done_.assign(static_cast<std::size_t>(node.num_tasks()), false);
+}
+
+std::vector<int> NodeAgent::child_indices() const {
+  std::vector<int> kids;
+  for (int c : {2 * index_ + 1, 2 * index_ + 2})
+    if (c < num_nodes_) kids.push_back(c);
+  return kids;
+}
+
+double NodeAgent::now() const { return env_.cluster->engine().now(); }
+
+void NodeAgent::send_to_manager(int tag, std::vector<std::byte> payload) {
+  env_.cluster->send_to_manager(replica_, index_, tag, std::move(payload));
+}
+
+void NodeAgent::send_to_agent(int replica, int node_index, int tag,
+                              std::vector<std::byte> payload,
+                              double bytes_on_wire) {
+  env_.cluster->send_service(replica_, index_, replica, node_index, tag,
+                             std::move(payload), bytes_on_wire);
+}
+
+void NodeAgent::start() {
+  peers_.clear();
+  peers_.push_back(Peer{1 - replica_, index_, now(), false});  // buddy
+  if (!is_root()) peers_.push_back(Peer{replica_, parent_index(), now(), false});
+  for (int c : child_indices()) peers_.push_back(Peer{replica_, c, now(), false});
+  double period = env_.config->heartbeat_period;
+  std::uint64_t inc = ++heartbeat_incarnation_;
+  env_.cluster->engine().schedule_after(period, [this, inc]() {
+    if (heartbeat_incarnation_ == inc) heartbeat_tick();
+  });
+  env_.cluster->engine().schedule_after(period * 1.5, [this, inc]() {
+    if (heartbeat_incarnation_ == inc) watchdog_tick();
+  });
+}
+
+void NodeAgent::reset_for_restart() {
+  phase_ = Phase::Idle;
+  epoch_ = 0;
+  awaiting_go_ = false;
+  node_.set_gated(false);
+  verified_ = StoredCheckpoint{};
+  candidate_ = StoredCheckpoint{};
+  pack_complete_ = false;
+  have_remote_ = false;
+  local_verdict_done_ = false;
+  refresh_done_from_tasks();
+  start();  // rebuilds the peer table, bumps heartbeat incarnation
+}
+
+void NodeAgent::heartbeat_tick() {
+  if (!node_.alive()) return;
+  wire::EpochMsg beat{epoch_};
+  for (const Peer& p : peers_)
+    send_to_agent(p.replica, p.node_index, wire::kHeartbeat,
+                  rt::pack_payload(beat));
+  std::uint64_t inc = heartbeat_incarnation_;
+  env_.cluster->engine().schedule_after(
+      env_.config->heartbeat_period, [this, inc]() {
+        if (heartbeat_incarnation_ == inc) heartbeat_tick();
+      });
+}
+
+void NodeAgent::watchdog_tick() {
+  if (!node_.alive()) return;
+  for (Peer& p : peers_) {
+    if (!p.suspected && now() - p.last_heard > env_.config->heartbeat_timeout) {
+      p.suspected = true;
+      wire::SuspectMsg suspect{p.replica, p.node_index};
+      send_to_manager(wire::kSuspectDead, rt::pack_payload(suspect));
+    }
+  }
+  std::uint64_t inc = heartbeat_incarnation_;
+  env_.cluster->engine().schedule_after(
+      env_.config->heartbeat_period, [this, inc]() {
+        if (heartbeat_incarnation_ == inc) watchdog_tick();
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Progress & completion hooks (Fig. 3 phases 1-3).
+// ---------------------------------------------------------------------------
+
+rt::ProgressDecision NodeAgent::on_progress(int slot, std::uint64_t iters) {
+  (void)slot;
+  switch (phase_) {
+    case Phase::Idle:
+      return rt::ProgressDecision::Continue;
+    case Phase::Quiesce:
+      // Every task pauses at its first report after the request — i.e. at
+      // the end of the iteration it was already inside. The reduction
+      // contribution was computed from those in-flight iterations when the
+      // request arrived, so no task can pause beyond it.
+      return rt::ProgressDecision::Pause;
+    case Phase::RunToIteration:
+      if (iters >= decided_iteration_) {
+        env_.cluster->engine().schedule_after(0.0, [this, e = epoch_]() {
+          if (phase_ == Phase::RunToIteration && epoch_ == e) check_ready();
+        });
+        return rt::ProgressDecision::Pause;
+      }
+      return rt::ProgressDecision::Continue;
+    case Phase::AwaitVerdict:
+      // Semi-blocking mode: the snapshot is sealed; the application runs on
+      // under the in-flight comparison.
+      if (env_.config->semi_blocking && !single_replica_ckpt_)
+        return rt::ProgressDecision::Continue;
+      return rt::ProgressDecision::Pause;
+    case Phase::Halted:
+    case Phase::Packing:
+      // No task should be running here; pause defensively.
+      return rt::ProgressDecision::Pause;
+  }
+  return rt::ProgressDecision::Continue;
+}
+
+void NodeAgent::on_task_done(int slot) {
+  done_.at(static_cast<std::size_t>(slot)) = true;
+  report_node_done_if_complete();
+  // A done task never reports progress again; re-evaluate any readiness
+  // wait that counts it.
+  if (phase_ == Phase::RunToIteration) check_ready();
+}
+
+void NodeAgent::report_node_done_if_complete() {
+  if (node_done_reported_) return;
+  if (std::all_of(done_.begin(), done_.end(), [](bool b) { return b; })) {
+    node_done_reported_ = true;
+    wire::EpochMsg msg{epoch_};
+    send_to_manager(wire::kNodeDone, rt::pack_payload(msg));
+  }
+}
+
+void NodeAgent::refresh_done_from_tasks() {
+  done_.assign(static_cast<std::size_t>(node_.num_tasks()), false);
+  node_done_reported_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch.
+// ---------------------------------------------------------------------------
+
+void NodeAgent::on_service_message(const rt::Message& m) {
+  // Any traffic from a watched peer proves it alive.
+  for (Peer& p : peers_) {
+    if (m.src_replica == p.replica && m.src.node_index == p.node_index) {
+      p.last_heard = now();
+      break;
+    }
+  }
+
+  switch (m.tag) {
+    case wire::kHeartbeat:
+      return;  // freshness recorded above
+    case wire::kCheckpointRequest:
+      return handle_checkpoint_request(
+          rt::unpack_payload<wire::CkptRequestMsg>(m));
+    case wire::kIterationDecided:
+      return handle_iteration_decided(
+          rt::unpack_payload<wire::IterationMsg>(m));
+    case wire::kPackCommand:
+      return handle_pack_command(rt::unpack_payload<wire::EpochMsg>(m));
+    case wire::kCommit:
+      return handle_commit(rt::unpack_payload<wire::EpochMsg>(m));
+    case wire::kRollbackSdc:
+      return handle_rollback(rt::unpack_payload<wire::RestoreCmdMsg>(m), true);
+    case wire::kRollbackHard:
+      return handle_rollback(rt::unpack_payload<wire::RestoreCmdMsg>(m),
+                             false);
+    case wire::kHalt:
+      return handle_halt();
+    case wire::kAbortConsensus:
+      return handle_abort();
+    case wire::kResume:
+      return handle_resume();
+    case wire::kSendVerifiedToBuddy:
+      return handle_send_to_buddy(m, /*candidate=*/false);
+    case wire::kSendCandidateToBuddy:
+      return handle_send_to_buddy(m, /*candidate=*/true);
+    case wire::kTreeProgress:
+      return handle_tree_progress(rt::unpack_payload<wire::ProgressMsg>(m));
+    case wire::kTreeReady:
+      return handle_tree_ready(rt::unpack_payload<wire::ReadyMsg>(m));
+    case wire::kTreeVerdict:
+      return handle_tree_verdict(rt::unpack_payload<wire::VerdictMsg>(m));
+    case wire::kBuddyCheckpoint:
+      return handle_buddy_checkpoint(m);
+    case wire::kBuddyChecksum:
+      return handle_buddy_checksum(m);
+    default:
+      log_warn("acr.agent") << "unknown service tag " << m.tag;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint consensus (Fig. 3).
+// ---------------------------------------------------------------------------
+
+void NodeAgent::handle_checkpoint_request(const wire::CkptRequestMsg& msg) {
+  if (msg.epoch <= epoch_ && phase_ != Phase::Idle) return;  // stale/duplicate
+  epoch_ = msg.epoch;
+  participants_ = msg.participants;
+  single_replica_ckpt_ = participants_ != 3;
+  phase_ = Phase::Quiesce;
+  local_quiesced_ = false;
+  local_ready_ = false;
+  pack_complete_ = false;
+  have_remote_ = false;
+  local_verdict_done_ = false;
+  subtree_match_ = true;
+  subtree_mismatches_ = 0;
+  progress_pending_children_ = static_cast<int>(child_indices().size());
+  ready_pending_children_ = progress_pending_children_;
+  verdict_pending_children_ = progress_pending_children_;
+
+  // Fig. 3 phase 2: the node's contribution to the max-progress reduction.
+  // A running task is somewhere inside iteration progress+1 — it may
+  // already have sent that iteration's messages, so the checkpoint
+  // iteration must not fall below it (a lower cut would strand those
+  // messages and deadlock the sender on paused neighbors). Done tasks
+  // contribute their final progress. This value is available immediately:
+  // the reduction does not wait for anyone to pause.
+  std::uint64_t floor = 0;
+  for (int slot = 0; slot < node_.num_tasks(); ++slot) {
+    std::uint64_t p = node_.task_progress(slot);
+    if (!done_.at(static_cast<std::size_t>(slot)) &&
+        !node_.task_paused(slot))
+      p += 1;
+    floor = std::max(floor, p);
+  }
+  subtree_max_progress_ = floor;
+  local_quiesced_ = true;
+  maybe_send_progress_up();
+}
+
+void NodeAgent::maybe_send_progress_up() {
+  if (!local_quiesced_ || progress_pending_children_ > 0) return;
+  wire::ProgressMsg msg{epoch_, subtree_max_progress_};
+  if (is_root()) {
+    send_to_manager(wire::kReplicaQuiesced, rt::pack_payload(msg));
+  } else {
+    send_to_agent(replica_, parent_index(), wire::kTreeProgress,
+                  rt::pack_payload(msg));
+  }
+}
+
+void NodeAgent::handle_tree_progress(const wire::ProgressMsg& msg) {
+  if (msg.epoch != epoch_ || phase_ != Phase::Quiesce) return;
+  subtree_max_progress_ = std::max(subtree_max_progress_, msg.max_progress);
+  --progress_pending_children_;
+  maybe_send_progress_up();
+}
+
+void NodeAgent::handle_iteration_decided(const wire::IterationMsg& msg) {
+  if (msg.epoch != epoch_ || phase_ != Phase::Quiesce) return;
+  decided_iteration_ = msg.iteration;
+  phase_ = Phase::RunToIteration;
+  // Tasks short of the target resume; the pause rule in on_progress stops
+  // them exactly at the decided iteration.
+  for (int slot = 0; slot < node_.num_tasks(); ++slot) {
+    if (done_.at(static_cast<std::size_t>(slot))) continue;
+    if (node_.task_progress(slot) < decided_iteration_)
+      node_.unpause_task(slot);
+  }
+  check_ready();
+}
+
+void NodeAgent::check_ready() {
+  if (phase_ != Phase::RunToIteration || local_ready_) return;
+  for (int slot = 0; slot < node_.num_tasks(); ++slot) {
+    if (done_.at(static_cast<std::size_t>(slot))) continue;
+    if (!(node_.task_paused(slot) &&
+          node_.task_progress(slot) >= decided_iteration_))
+      return;
+  }
+  local_ready_ = true;
+  maybe_send_ready_up();
+}
+
+void NodeAgent::maybe_send_ready_up() {
+  if (!local_ready_ || ready_pending_children_ > 0) return;
+  wire::ReadyMsg msg{epoch_};
+  if (is_root()) {
+    send_to_manager(wire::kReplicaReady, rt::pack_payload(msg));
+  } else {
+    send_to_agent(replica_, parent_index(), wire::kTreeReady,
+                  rt::pack_payload(msg));
+  }
+}
+
+void NodeAgent::handle_tree_ready(const wire::ReadyMsg& msg) {
+  if (msg.epoch != epoch_) return;
+  --ready_pending_children_;
+  maybe_send_ready_up();
+}
+
+// ---------------------------------------------------------------------------
+// Pack + SDC detection (Fig. 3 phase 4, §2.1).
+// ---------------------------------------------------------------------------
+
+void NodeAgent::handle_pack_command(const wire::EpochMsg& msg) {
+  if (msg.epoch != epoch_ || phase_ != Phase::RunToIteration) return;
+  phase_ = Phase::Packing;
+  pack_candidate();
+}
+
+void NodeAgent::pack_candidate() {
+  candidate_.image = node_.pack_state();
+  candidate_.epoch = epoch_;
+  candidate_.iteration = decided_iteration_;
+  candidate_.valid = true;
+  ++checkpoints_packed_;
+
+  // Charge the serialization cost, plus the digest cost in checksum mode
+  // (~4 instructions per byte, §4.2).
+  double bytes = static_cast<double>(candidate_.image.size());
+  double pack_time = bytes / env_.cluster->config().net.pack_bandwidth;
+  if (env_.config->detection == SdcDetection::Checksum &&
+      !single_replica_ckpt_) {
+    pack_time += bytes * 4.0 * env_.cluster->config().net.gamma;
+  }
+  std::uint64_t inc = node_.incarnation();
+  env_.cluster->engine().schedule_after(pack_time, [this, inc]() {
+    if (node_.alive() && node_.incarnation() == inc) after_pack();
+  });
+}
+
+void NodeAgent::after_pack() {
+  pack_complete_ = true;
+  // Semi-blocking mode: the snapshot is taken; the application continues
+  // while the copy travels and is compared. (Recovery checkpoints stay
+  // blocking: the healthy replica is about to ship state the crashed side
+  // must restore from verbatim.)
+  if (env_.config->semi_blocking && !single_replica_ckpt_)
+    node_.unpause_all();
+  if (single_replica_ckpt_) {
+    // Recovery checkpoint: no cross-replica comparison possible.
+    phase_ = Phase::AwaitVerdict;
+    wire::EpochMsg msg{epoch_};
+    send_to_manager(wire::kPackDone, rt::pack_payload(msg));
+    return;
+  }
+  if (env_.config->detection == SdcDetection::Checksum) {
+    local_digest_ = checksum::fletcher64(candidate_.image.bytes());
+    if (replica_ == 0) {
+      wire::ChecksumMsg msg{epoch_, local_digest_,
+                            static_cast<std::uint64_t>(
+                                candidate_.image.size())};
+      send_to_agent(1, index_, wire::kBuddyChecksum, rt::pack_payload(msg));
+      phase_ = Phase::AwaitVerdict;
+      return;
+    }
+  } else {
+    if (replica_ == 0) {
+      send_checkpoint_to_buddy(candidate_, kPurposeCompare);
+      phase_ = Phase::AwaitVerdict;
+      return;
+    }
+  }
+  // Replica 1: wait for the remote image/digest, then compare.
+  phase_ = Phase::AwaitVerdict;
+  maybe_compare();
+}
+
+void NodeAgent::send_checkpoint_to_buddy(const StoredCheckpoint& ckpt,
+                                         std::uint8_t purpose,
+                                         std::uint64_t barrier) {
+  wire::CheckpointMsg msg;
+  msg.epoch = ckpt.epoch;
+  msg.iteration = ckpt.iteration;
+  msg.purpose = purpose;
+  msg.barrier = barrier;
+  msg.data.assign(ckpt.image.bytes().begin(), ckpt.image.bytes().end());
+  double wire_bytes = static_cast<double>(msg.data.size());
+  send_to_agent(1 - replica_, index_, wire::kBuddyCheckpoint,
+                rt::pack_payload(msg), wire_bytes);
+}
+
+void NodeAgent::handle_buddy_checksum(const rt::Message& m) {
+  auto msg = rt::unpack_payload<wire::ChecksumMsg>(m);
+  if (msg.epoch != epoch_) return;
+  remote_checksum_ = msg;
+  have_remote_ = true;
+  maybe_compare();
+}
+
+void NodeAgent::handle_buddy_checkpoint(const rt::Message& m) {
+  auto msg = rt::unpack_payload<wire::CheckpointMsg>(m);
+  if (msg.purpose == kPurposeRestore) {
+    // Buddy-assisted restore (spare promotion, medium/weak forward jump).
+    StoredCheckpoint incoming;
+    incoming.valid = true;
+    incoming.epoch = msg.epoch;
+    incoming.iteration = msg.iteration;
+    incoming.image = pup::Checkpoint(std::move(msg.data));
+    restore_from(incoming, "buddy checkpoint", msg.barrier);
+    return;
+  }
+  if (msg.epoch != epoch_) return;
+  remote_checkpoint_ = std::move(msg);
+  have_remote_ = true;
+  maybe_compare();
+}
+
+void NodeAgent::maybe_compare() {
+  if (replica_ != 1 || !pack_complete_ || !have_remote_ ||
+      local_verdict_done_)
+    return;
+  if (env_.config->detection == SdcDetection::Checksum) {
+    bool match = remote_checksum_.digest == local_digest_ &&
+                 remote_checksum_.full_bytes == candidate_.image.size();
+    finish_local_verdict(match);
+    return;
+  }
+  // Full comparison: charge the streaming compare cost, then judge.
+  double bytes = static_cast<double>(candidate_.image.size());
+  double cost = bytes / env_.cluster->config().net.compare_bandwidth;
+  std::uint64_t inc = node_.incarnation();
+  env_.cluster->engine().schedule_after(cost, [this, inc]() {
+    if (!node_.alive() || node_.incarnation() != inc) return;
+    pup::CompareResult r = pup::compare_streams(
+        candidate_.image.bytes(),
+        std::span<const std::byte>(remote_checkpoint_.data),
+        env_.config->checker);
+    finish_local_verdict(r.match);
+  });
+}
+
+void NodeAgent::finish_local_verdict(bool match) {
+  local_verdict_done_ = true;
+  subtree_match_ = subtree_match_ && match;
+  if (!match) ++subtree_mismatches_;
+  maybe_send_verdict_up();
+}
+
+void NodeAgent::maybe_send_verdict_up() {
+  if (!local_verdict_done_ || verdict_pending_children_ > 0) return;
+  wire::VerdictMsg msg{epoch_, static_cast<std::uint8_t>(subtree_match_),
+                       subtree_mismatches_};
+  if (is_root()) {
+    send_to_manager(wire::kReplicaVerdict, rt::pack_payload(msg));
+  } else {
+    send_to_agent(replica_, parent_index(), wire::kTreeVerdict,
+                  rt::pack_payload(msg));
+  }
+}
+
+void NodeAgent::handle_tree_verdict(const wire::VerdictMsg& msg) {
+  if (msg.epoch != epoch_) return;
+  subtree_match_ = subtree_match_ && (msg.match != 0);
+  subtree_mismatches_ += msg.mismatched_nodes;
+  --verdict_pending_children_;
+  maybe_send_verdict_up();
+}
+
+// ---------------------------------------------------------------------------
+// Commit / rollback / recovery actions.
+// ---------------------------------------------------------------------------
+
+void NodeAgent::handle_commit(const wire::EpochMsg& msg) {
+  if (candidate_.valid && candidate_.epoch == msg.epoch) {
+    verified_ = std::move(candidate_);
+    candidate_ = StoredCheckpoint{};
+  }
+  phase_ = Phase::Idle;
+  node_.unpause_all();
+}
+
+void NodeAgent::handle_rollback(const wire::RestoreCmdMsg& msg, bool sdc) {
+  if (!verified_.valid) {
+    // A freshly promoted spare caught in a wider rollback before its first
+    // restore landed: it holds no checkpoint of its own. Stay gated and ask
+    // the manager to route the buddy's verified image here instead.
+    node_.set_gated(true);
+    wire::BarrierMsg need{msg.barrier};
+    send_to_manager(wire::kNeedBuddyRestore, rt::pack_payload(need));
+    return;
+  }
+  candidate_ = StoredCheckpoint{};
+  restore_from(verified_, sdc ? "sdc rollback" : "hard rollback",
+               msg.barrier);
+}
+
+void NodeAgent::restore_from(const StoredCheckpoint& ckpt, const char* why,
+                             std::uint64_t barrier) {
+  ACR_REQUIRE(ckpt.valid, "restore from invalid checkpoint");
+  double bytes = static_cast<double>(ckpt.image.size());
+  double cost = bytes / env_.cluster->config().net.unpack_bandwidth;
+  // Copy the image if restoring from a message-borne temporary.
+  StoredCheckpoint local = ckpt;
+  node_.set_gated(true);  // drop app traffic until the resume barrier opens
+  env_.cluster->engine().schedule_after(cost, [this, local = std::move(local),
+                                               why, barrier]() {
+    if (!node_.alive()) return;
+    node_.restore_state(local.image);
+    verified_ = local;
+    candidate_ = StoredCheckpoint{};
+    phase_ = Phase::Idle;
+    refresh_done_from_tasks();
+    // Two-phase restart (the paper's restart barriers): report done, stay
+    // gated, and resume only on the manager's collective go (kResume).
+    awaiting_go_ = true;
+    log_debug("acr.agent") << "node (" << replica_ << "," << index_
+                           << ") restored from " << why << " epoch "
+                           << local.epoch << " barrier " << barrier;
+    wire::BarrierMsg done{barrier};
+    send_to_manager(wire::kRestoreDone, rt::pack_payload(done));
+  });
+}
+
+void NodeAgent::handle_halt() {
+  phase_ = Phase::Halted;
+  // Tasks pause at their next progress report; nothing else to do — the
+  // recovery checkpoint will arrive as a purpose=restore buddy checkpoint.
+}
+
+void NodeAgent::handle_abort() {
+  if (phase_ == Phase::Idle || phase_ == Phase::Halted) return;
+  candidate_ = StoredCheckpoint{};
+  phase_ = Phase::Idle;
+  node_.unpause_all();
+}
+
+void NodeAgent::handle_resume() {
+  for (Peer& p : peers_) {
+    p.last_heard = now();
+    p.suspected = false;
+  }
+  if (phase_ == Phase::Halted) phase_ = Phase::Idle;
+  if (awaiting_go_) {
+    awaiting_go_ = false;
+    node_.set_gated(false);
+    node_.resume_all_tasks();
+  }
+}
+
+void NodeAgent::handle_send_to_buddy(const rt::Message& m, bool candidate) {
+  auto barrier = rt::unpack_payload<wire::BarrierMsg>(m);
+  const StoredCheckpoint& src =
+      candidate && candidate_.valid ? candidate_ : verified_;
+  ACR_REQUIRE(src.valid, "no checkpoint available to send to buddy");
+  send_checkpoint_to_buddy(src, kPurposeRestore, barrier.barrier);
+}
+
+}  // namespace acr

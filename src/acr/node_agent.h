@@ -1,0 +1,187 @@
+// Per-node ACR agent (§2, §4).
+//
+// One agent lives on every application node. It implements the node-local
+// side of every ACR protocol:
+//  * Fig. 3 checkpoint consensus — pausing tasks at progress reports,
+//    asynchronous max-progress and readiness reductions along a binary tree
+//    of the replica's logical node indices;
+//  * the double in-memory checkpoint store (verified + candidate epochs);
+//  * SDC detection — shipping the checkpoint (or its Fletcher-64 digest) to
+//    the buddy node in the other replica and comparing (§2.1, §4.1–4.2);
+//  * buddy heartbeating and no-response failure detection (§6.1);
+//  * restore paths for rollback, buddy-assisted spare recovery, and the
+//    forward-jump restores of the medium/weak schemes (§2.3).
+//
+// Reductions travel agent-to-agent with modelled latency; control
+// broadcasts come directly from the job manager (see manager.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "acr/config.h"
+#include "acr/wire.h"
+#include "pup/pup.h"
+#include "rt/cluster.h"
+#include "rt/node.h"
+
+namespace acr {
+
+/// Everything an agent needs from its surroundings.
+struct AcrEnv {
+  rt::Cluster* cluster = nullptr;
+  const AcrConfig* config = nullptr;
+};
+
+class NodeAgent final : public rt::NodeService {
+ public:
+  NodeAgent(AcrEnv env, rt::Node& node);
+
+  /// Begin heartbeating and watchdog duty.
+  void start();
+
+  /// Re-arm the agent after a restart-from-scratch relaunch: forgets all
+  /// checkpoints and protocol state, restarts heartbeat loops. Agents are
+  /// never destroyed while their node lives (scheduled events hold `this`),
+  /// so relaunches reuse them.
+  void reset_for_restart();
+
+  // --- rt::NodeService -------------------------------------------------------
+  void on_service_message(const rt::Message& m) override;
+  rt::ProgressDecision on_progress(int slot, std::uint64_t iters) override;
+  void on_task_done(int slot) override;
+
+  // --- introspection (tests / stats) ------------------------------------------
+  enum class Phase {
+    Idle,
+    Quiesce,         ///< Fig. 3 phase 2: pausing at next report
+    RunToIteration,  ///< Fig. 3 phase 3: running until the decided iteration
+    Packing,         ///< Fig. 3 phase 4: serializing
+    AwaitVerdict,    ///< checkpoint shipped / verdict pending
+    Halted,          ///< weak scheme: waiting for the recovery checkpoint
+  };
+  Phase phase() const { return phase_; }
+  bool has_verified() const { return verified_.valid; }
+  std::uint64_t verified_epoch() const { return verified_.epoch; }
+  std::uint64_t verified_iteration() const { return verified_.iteration; }
+  std::size_t verified_bytes() const { return verified_.image.size(); }
+  /// Bytes of the verified checkpoint image — the node's authoritative
+  /// (cross-replica-compared) answer.
+  std::span<const std::byte> verified_image() const {
+    return verified_.image.bytes();
+  }
+  std::size_t checkpoints_packed() const { return checkpoints_packed_; }
+
+ private:
+  struct StoredCheckpoint {
+    bool valid = false;
+    std::uint64_t epoch = 0;
+    std::uint64_t iteration = 0;
+    pup::Checkpoint image;
+  };
+
+  // Tree helpers over logical node indices of this replica.
+  int parent_index() const { return (index_ - 1) / 2; }
+  bool is_root() const { return index_ == 0; }
+  std::vector<int> child_indices() const;
+
+  // Message handlers.
+  void handle_checkpoint_request(const wire::CkptRequestMsg& msg);
+  void handle_iteration_decided(const wire::IterationMsg& msg);
+  void handle_pack_command(const wire::EpochMsg& msg);
+  void handle_commit(const wire::EpochMsg& msg);
+  void handle_rollback(const wire::RestoreCmdMsg& msg, bool sdc);
+  void handle_halt();
+  void handle_abort();
+  void handle_resume();
+  void handle_tree_progress(const wire::ProgressMsg& msg);
+  void handle_tree_ready(const wire::ReadyMsg& msg);
+  void handle_tree_verdict(const wire::VerdictMsg& msg);
+  void handle_buddy_checkpoint(const rt::Message& m);
+  void handle_buddy_checksum(const rt::Message& m);
+  void handle_send_to_buddy(const rt::Message& m, bool candidate);
+
+  // Consensus steps.
+  void maybe_send_progress_up();
+  void check_ready();
+  void maybe_send_ready_up();
+  void maybe_compare();
+  void maybe_send_verdict_up();
+  void finish_local_verdict(bool match);
+
+  // Checkpoint plumbing.
+  void pack_candidate();
+  void after_pack();
+  void restore_from(const StoredCheckpoint& ckpt, const char* why,
+                    std::uint64_t barrier);
+  void send_checkpoint_to_buddy(const StoredCheckpoint& ckpt,
+                                std::uint8_t purpose,
+                                std::uint64_t barrier = 0);
+  void refresh_done_from_tasks();
+  void report_node_done_if_complete();
+
+  // Heartbeats.
+  void heartbeat_tick();
+  void watchdog_tick();
+
+  void send_to_manager(int tag, std::vector<std::byte> payload);
+  void send_to_agent(int replica, int node_index, int tag,
+                     std::vector<std::byte> payload,
+                     double bytes_on_wire = -1.0);
+  double now() const;
+
+  AcrEnv env_;
+  rt::Node& node_;
+  int replica_;
+  int index_;
+  int num_nodes_;
+
+  // Consensus state.
+  Phase phase_ = Phase::Idle;
+  std::uint64_t epoch_ = 0;
+  std::uint8_t participants_ = 3;
+  bool single_replica_ckpt_ = false;
+  std::uint64_t decided_iteration_ = 0;
+  int progress_pending_children_ = 0;
+  std::uint64_t subtree_max_progress_ = 0;
+  bool local_quiesced_ = false;
+  int ready_pending_children_ = 0;
+  bool local_ready_ = false;
+  int verdict_pending_children_ = 0;
+  bool subtree_match_ = true;
+  std::uint64_t subtree_mismatches_ = 0;
+  bool local_verdict_done_ = false;
+
+  // Comparison state.
+  bool pack_complete_ = false;
+  bool have_remote_ = false;
+  wire::CheckpointMsg remote_checkpoint_;
+  wire::ChecksumMsg remote_checksum_;
+  std::uint64_t local_digest_ = 0;
+
+  // Task bookkeeping.
+  std::vector<bool> done_;
+  bool node_done_reported_ = false;
+
+  // Checkpoint store.
+  StoredCheckpoint verified_;
+  StoredCheckpoint candidate_;
+  std::size_t checkpoints_packed_ = 0;
+
+  // Two-phase restart barrier: restored, waiting for the collective go.
+  bool awaiting_go_ = false;
+
+  // Heartbeat state. Each node watches its buddy (cross-replica, §2.1) and
+  // its reduction-tree parent and children (intra-replica), so every node
+  // has a live observer even when a whole buddy pair dies at once.
+  struct Peer {
+    int replica;
+    int node_index;
+    double last_heard = 0.0;
+    bool suspected = false;
+  };
+  std::vector<Peer> peers_;
+  std::uint64_t heartbeat_incarnation_ = 0;
+};
+
+}  // namespace acr

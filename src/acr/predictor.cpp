@@ -1,0 +1,33 @@
+#include "acr/predictor.h"
+
+#include <algorithm>
+
+#include "common/require.h"
+
+namespace acr {
+
+double prediction_overhead_delta(const PredictorConfig& cfg, double tau,
+                                 double mtbf, double checkpoint_cost) {
+  ACR_REQUIRE(tau > 0.0 && mtbf > 0.0 && checkpoint_cost >= 0.0,
+              "invalid prediction model inputs");
+  ACR_REQUIRE(cfg.recall >= 0.0 && cfg.recall <= 1.0, "recall out of [0,1]");
+  ACR_REQUIRE(cfg.precision > 0.0 && cfg.precision <= 1.0,
+              "precision out of (0,1]");
+  double failure_rate = 1.0 / mtbf;
+  double rework_saved = cfg.recall * (tau / 2.0) * failure_rate;
+  double warning_rate = cfg.recall * failure_rate / cfg.precision;
+  double alarm_cost = warning_rate * checkpoint_cost;
+  return alarm_cost - rework_saved;
+}
+
+double prediction_breakeven_recall(const PredictorConfig& cfg, double tau,
+                                   double mtbf, double checkpoint_cost) {
+  // delta(recall) = recall * [ checkpoint_cost/(precision*mtbf)
+  //                            - tau/(2*mtbf) ] — linear in recall: the
+  // sign of the bracket decides; break-even is all-or-nothing.
+  (void)mtbf;
+  double bracket = checkpoint_cost / cfg.precision - tau / 2.0;
+  return bracket < 0.0 ? 0.0 : 1.0;  // any recall helps iff bracket < 0
+}
+
+}  // namespace acr

@@ -1,0 +1,53 @@
+// Online failure prediction hook (§2.2).
+//
+// The paper: "as online failure prediction [19] becomes more accurate,
+// checkpointing right before a potential failure occurs can help increase
+// the mean time between failures visible to applications. ACR is capable of
+// scheduling dynamic checkpoints in both the scenarios described."
+//
+// This module models such a predictor (Lan et al.-style meta-learning is
+// out of scope; what matters to ACR is the prediction *interface*): a
+// stream of warnings characterized by
+//   * recall    — the fraction of real failures that are predicted,
+//   * precision — the fraction of warnings that are followed by a failure,
+//   * lead time — how far ahead of the failure the warning fires.
+// On a warning, the manager schedules an immediate checkpoint, so the work
+// lost to a correctly predicted failure shrinks from ~tau/2 to ~0.
+//
+// The companion analytic model quantifies the expected rework reduction,
+// and bench/ablation_predictor sweeps recall to regenerate the trade-off.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+
+namespace acr {
+
+struct PredictorConfig {
+  /// P(warning | failure): fraction of failures announced in advance.
+  double recall = 0.7;
+  /// P(failure | warning): complement governs false alarms. A false-alarm
+  /// rate is derived so that precision holds given the failure rate.
+  double precision = 0.8;
+  /// Warning fires this long before the failure (seconds).
+  double lead_time = 0.5;
+};
+
+/// Analytic value of prediction for a checkpoint/restart system running at
+/// period tau: expected rework per failure drops from tau/2 to
+/// (1-recall)*tau/2, while each false alarm costs one extra checkpoint.
+/// Returns the expected overhead *change* per unit time (negative = win).
+///
+///   d_overhead = - recall * (tau/2) / mtbf                (rework saved)
+///                + false_alarm_rate * checkpoint_cost     (alarm cost)
+/// with false_alarm_rate = recall/mtbf * (1-precision)/precision.
+double prediction_overhead_delta(const PredictorConfig& cfg, double tau,
+                                 double mtbf, double checkpoint_cost);
+
+/// Break-even recall at fixed precision: below this, prediction loses.
+double prediction_breakeven_recall(const PredictorConfig& cfg, double tau,
+                                   double mtbf, double checkpoint_cost);
+
+}  // namespace acr

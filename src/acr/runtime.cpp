@@ -1,0 +1,158 @@
+#include "acr/runtime.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "failure/injector.h"
+
+namespace acr {
+
+AcrRuntime::AcrRuntime(const AcrConfig& acr_config,
+                       const rt::ClusterConfig& cluster_config)
+    : acr_config_(acr_config),
+      cluster_(std::make_unique<rt::Cluster>(engine_, cluster_config)),
+      fault_rng_(cluster_config.seed ^ 0xFA17ULL, 0xD15EA5E) {}
+
+AcrRuntime::~AcrRuntime() = default;
+
+void AcrRuntime::set_task_factory(rt::Cluster::TaskFactory factory) {
+  cluster_->set_task_factory(std::move(factory));
+}
+
+void AcrRuntime::set_predictor(const PredictorConfig& config) {
+  ACR_REQUIRE(!fault_scheduled_,
+              "set_predictor must precede set_fault_plan: warnings are "
+              "decided when faults are scheduled");
+  predictor_ = config;
+  predictor_enabled_ = true;
+}
+
+void AcrRuntime::set_fault_plan(FaultPlan plan) {
+  fault_plan_ = std::move(plan);
+  if (setup_done_ && fault_plan_.arrivals)
+    schedule_next_fault(engine_.now());
+}
+
+NodeAgent* AcrRuntime::install_agent(rt::Node& node) {
+  // Agents are never replaced while their node lives — scheduled events
+  // capture the agent pointer. Relaunches reset the existing agent.
+  if (node.service() != nullptr) {
+    auto* agent = static_cast<NodeAgent*>(node.service());
+    agent->reset_for_restart();
+    return agent;
+  }
+  AcrEnv env{cluster_.get(), &acr_config_};
+  auto agent = std::make_unique<NodeAgent>(env, node);
+  NodeAgent* raw = agent.get();
+  node.set_service(std::move(agent));
+  raw->start();
+  return raw;
+}
+
+void AcrRuntime::setup() {
+  ACR_REQUIRE(!setup_done_, "setup() must be called once");
+  cluster_->populate();
+  for (int r = 0; r < 2; ++r)
+    for (int i = 0; i < cluster_->nodes_per_replica(); ++i)
+      install_agent(cluster_->node_at(r, i));
+  manager_ = std::make_unique<Manager>(
+      AcrEnv{cluster_.get(), &acr_config_},
+      [this](rt::Node& n) { return install_agent(n); });
+  manager_->start();
+  cluster_->start_application();
+  if (fault_plan_.arrivals) schedule_next_fault(0.0);
+  setup_done_ = true;
+}
+
+void AcrRuntime::schedule_next_fault(double from_time) {
+  fault_scheduled_ = true;
+  double t = fault_plan_.arrivals->next_after(from_time, fault_rng_);
+  if (fault_plan_.horizon > 0.0 && t > fault_plan_.horizon) return;
+  // The fault's nature is decided at scheduling time so the failure
+  // predictor can announce (only) hard failures ahead of their arrival.
+  next_fault_is_sdc_ = fault_rng_.uniform() < fault_plan_.sdc_fraction;
+  if (predictor_enabled_ && !next_fault_is_sdc_) {
+    if (fault_rng_.uniform() < predictor_.recall) {
+      double warn_at = std::max(engine_.now(), t - predictor_.lead_time);
+      engine_.schedule_at(warn_at, [this]() {
+        ++warnings_issued_;
+        manager_->request_immediate_checkpoint();
+      });
+      // False alarms: (1-precision)/precision extra warnings per true one
+      // (Bernoulli approximation; exact for precision >= 0.5).
+      double false_ratio = (1.0 - predictor_.precision) / predictor_.precision;
+      if (fault_rng_.uniform() < std::min(1.0, false_ratio)) {
+        double bogus_at = engine_.now() + (t - engine_.now()) *
+                                              fault_rng_.uniform();
+        engine_.schedule_at(bogus_at, [this]() {
+          ++warnings_issued_;
+          manager_->request_immediate_checkpoint();
+        });
+      }
+    }
+  }
+  engine_.schedule_at(t, [this]() { inject_fault(); });
+}
+
+void AcrRuntime::inject_fault() {
+  if (manager_->job_complete() || manager_->job_failed()) return;
+  // This firing's nature was fixed when it was scheduled; scheduling the
+  // next fault overwrites next_fault_is_sdc_ with the *next* one's.
+  bool sdc_now = next_fault_is_sdc_;
+  schedule_next_fault(engine_.now());
+
+  int replica = static_cast<int>(fault_rng_.bounded(2));
+  int index = static_cast<int>(
+      fault_rng_.bounded(static_cast<std::uint32_t>(
+          cluster_->nodes_per_replica())));
+  if (!cluster_->role_alive(replica, index)) return;  // already down
+
+  bool sdc = sdc_now;
+  rt::Node& node = cluster_->node_at(replica, index);
+  if (sdc) {
+    if (node.num_tasks() == 0) return;
+    int slot = static_cast<int>(fault_rng_.bounded(
+        static_cast<std::uint32_t>(node.num_tasks())));
+    std::optional<failure::BitFlip> flip = failure::try_inject_sdc(
+        node.task(slot), fault_rng_, fault_plan_.flip_policy);
+    if (!flip) return;  // victim holds no eligible state (e.g. bare spare)
+    ++sdc_injected_;
+    cluster_->trace().record(engine_.now(), rt::TraceKind::SdcInjected,
+                             replica, index,
+                             "slot=" + std::to_string(slot) + " byte=" +
+                                 std::to_string(flip->byte_offset) + " bit=" +
+                                 std::to_string(flip->bit));
+  } else {
+    cluster_->trace().record(engine_.now(),
+                             rt::TraceKind::HardFailureInjected, replica,
+                             index);
+    cluster_->kill_role(replica, index);
+  }
+}
+
+RunSummary AcrRuntime::run(double max_virtual_time) {
+  ACR_REQUIRE(setup_done_, "call setup() before run()");
+  while (engine_.now() < max_virtual_time && !manager_->job_complete() &&
+         !manager_->job_failed()) {
+    if (!engine_.step()) break;
+  }
+  RunSummary s;
+  s.complete = manager_->job_complete();
+  s.failed = manager_->job_failed();
+  s.finish_time = engine_.now();
+  s.checkpoints = manager_->checkpoints_committed();
+  s.hard_failures = manager_->hard_failures_detected();
+  s.sdc_injected = sdc_injected_;
+  s.sdc_detected = manager_->sdc_rollbacks();
+  s.recoveries = manager_->recoveries_completed();
+  s.scratch_restarts = manager_->scratch_restarts();
+  return s;
+}
+
+NodeAgent& AcrRuntime::agent_at(int replica, int node_index) {
+  auto* svc = cluster_->node_at(replica, node_index).service();
+  ACR_REQUIRE(svc != nullptr, "no agent installed");
+  return *static_cast<NodeAgent*>(svc);
+}
+
+}  // namespace acr

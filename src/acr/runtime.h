@@ -1,0 +1,116 @@
+// AcrRuntime — the public facade of the framework.
+//
+// Usage (see examples/quickstart.cpp):
+//
+//   acr::AcrConfig acr_cfg;                   // scheme, detection, interval
+//   acr::rt::ClusterConfig cluster_cfg;       // nodes, spares, latencies
+//   acr::AcrRuntime runtime(acr_cfg, cluster_cfg);
+//   runtime.set_task_factory(my_factory);     // builds each node's tasks
+//   runtime.setup();
+//   runtime.run(/*max_virtual_time=*/3600.0);
+//
+// The runtime owns the virtual cluster, installs an ACR agent on every
+// node, runs the job manager, and (optionally) drives fault injection.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "acr/config.h"
+#include "acr/manager.h"
+#include "acr/node_agent.h"
+#include "acr/predictor.h"
+#include "failure/distributions.h"
+#include "failure/injector.h"
+#include "rt/cluster.h"
+#include "rt/engine.h"
+
+namespace acr {
+
+/// Fault-injection plan (§6.1): an arrival process plus the SDC/hard mix.
+struct FaultPlan {
+  std::shared_ptr<failure::ArrivalProcess> arrivals;
+  /// Probability that an injected fault is an SDC bit flip (vs fail-stop).
+  double sdc_fraction = 0.5;
+  /// Stop injecting after this time (0 = no limit).
+  double horizon = 0.0;
+  /// Where flips may land. Default mirrors the paper: the floating point
+  /// user data that dominates checkpoints. AnyPayload additionally strikes
+  /// counters/indices — corruption the framework detects at the next
+  /// comparison, but which can also derail the victim's control flow in
+  /// ways no checkpoint-based scheme can mask.
+  failure::FlipPolicy flip_policy = failure::FlipPolicy::FloatingPointOnly;
+};
+
+struct RunSummary {
+  bool complete = false;
+  bool failed = false;
+  double finish_time = 0.0;          ///< virtual time of completion (or stop)
+  std::uint64_t checkpoints = 0;
+  std::uint64_t hard_failures = 0;
+  std::uint64_t sdc_injected = 0;
+  std::uint64_t sdc_detected = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t scratch_restarts = 0;
+};
+
+class AcrRuntime {
+ public:
+  AcrRuntime(const AcrConfig& acr_config, const rt::ClusterConfig& cluster_config);
+  ~AcrRuntime();
+
+  AcrRuntime(const AcrRuntime&) = delete;
+  AcrRuntime& operator=(const AcrRuntime&) = delete;
+
+  rt::Cluster& cluster() { return *cluster_; }
+  rt::Engine& engine() { return engine_; }
+  Manager& manager() { return *manager_; }
+  rt::TraceLog& trace() { return cluster_->trace(); }
+  const AcrConfig& config() const { return acr_config_; }
+
+  void set_task_factory(rt::Cluster::TaskFactory factory);
+
+  /// Optional fault injection; call any time before run().
+  void set_fault_plan(FaultPlan plan);
+
+  /// Enable the online failure predictor (§2.2): hard failures are
+  /// announced `lead_time` in advance with the configured recall, and the
+  /// manager schedules an immediate checkpoint on each warning (plus false
+  /// alarms per the precision). Warnings are decided when each fault is
+  /// scheduled, so this must be called before set_fault_plan().
+  void set_predictor(const PredictorConfig& config);
+
+  /// Populate the cluster, install agents, start the manager and the app.
+  void setup();
+
+  /// Run until the job completes, fails, the event queue drains, or the
+  /// virtual clock passes `max_virtual_time`.
+  RunSummary run(double max_virtual_time);
+
+  /// Agent living on (replica, node_index) — for tests and stats.
+  NodeAgent& agent_at(int replica, int node_index);
+
+  std::uint64_t sdc_injected() const { return sdc_injected_; }
+  std::uint64_t warnings_issued() const { return warnings_issued_; }
+
+ private:
+  void schedule_next_fault(double from_time);
+  void inject_fault();
+  NodeAgent* install_agent(rt::Node& node);
+
+  AcrConfig acr_config_;
+  rt::Engine engine_;
+  std::unique_ptr<rt::Cluster> cluster_;
+  std::unique_ptr<Manager> manager_;
+  FaultPlan fault_plan_;
+  PredictorConfig predictor_;
+  bool predictor_enabled_ = false;
+  bool fault_scheduled_ = false;
+  bool next_fault_is_sdc_ = false;
+  Pcg32 fault_rng_;
+  std::uint64_t sdc_injected_ = 0;
+  std::uint64_t warnings_issued_ = 0;
+  bool setup_done_ = false;
+};
+
+}  // namespace acr

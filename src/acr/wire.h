@@ -1,0 +1,150 @@
+// Wire protocol between ACR node agents and the job manager.
+#pragma once
+
+#include <cstdint>
+
+#include "pup/pup.h"
+
+namespace acr::wire {
+
+/// Message tags on the service channel.
+enum Tag : int {
+  // Manager -> agents (broadcast down the per-replica tree).
+  kCheckpointRequest = 100,  ///< begin quiesce (Fig. 3 phase 2)
+  kIterationDecided,         ///< checkpoint iteration C (phase 3)
+  kPackCommand,              ///< all ready: serialize state (phase 4)
+  kCommit,                   ///< comparison passed: promote + resume
+  kRollbackSdc,              ///< mismatch: restore verified epoch + resume
+  kRollbackHard,             ///< crashed-replica rollback to verified epoch
+  kHalt,                     ///< weak scheme: crashed replica waits
+  kAbortConsensus,           ///< failure interrupted a checkpoint
+  kSendVerifiedToBuddy,      ///< strong recovery: ship verified ckpt to buddy
+  kSendCandidateToBuddy,     ///< medium/weak recovery: ship fresh ckpt
+  kResume,                   ///< plain resume (after recovery bookkeeping)
+
+  // Agent -> agent.
+  kTreeProgress = 200,  ///< max-progress reduction up the tree
+  kTreeReady,           ///< readiness reduction up the tree
+  kTreeVerdict,         ///< comparison verdict reduction (replica 1)
+  kBuddyCheckpoint,     ///< full checkpoint bytes (compare or restore)
+  kBuddyChecksum,       ///< Fletcher-64 digest of the checkpoint
+  kHeartbeat,
+
+  // Agent -> manager.
+  kReplicaQuiesced = 300,  ///< root: subtree fully paused, max progress known
+  kReplicaReady,           ///< root: all tasks at C
+  kReplicaVerdict,         ///< replica-1 root: aggregated compare verdict
+  kSuspectDead,            ///< buddy heartbeat timed out
+  kNodeDone,               ///< all tasks on this node finished the app
+  kPackDone,               ///< local checkpoint serialized (for recovery flows)
+  kRestoreDone,            ///< node restored + resumed
+  kNeedBuddyRestore,       ///< rollback ordered but no local checkpoint held
+};
+
+/// Reduction / broadcast payloads. All pup-able.
+struct CkptRequestMsg {
+  std::uint64_t epoch = 0;
+  std::uint8_t participants = 3;  ///< bit 0: replica 0, bit 1: replica 1
+  void pup(pup::Puper& p) {
+    p | epoch;
+    p | participants;
+  }
+};
+
+struct ProgressMsg {
+  std::uint64_t epoch = 0;
+  std::uint64_t max_progress = 0;
+  void pup(pup::Puper& p) {
+    p | epoch;
+    p | max_progress;
+  }
+};
+
+struct IterationMsg {
+  std::uint64_t epoch = 0;
+  std::uint64_t iteration = 0;
+  void pup(pup::Puper& p) {
+    p | epoch;
+    p | iteration;
+  }
+};
+
+struct ReadyMsg {
+  std::uint64_t epoch = 0;
+  void pup(pup::Puper& p) { p | epoch; }
+};
+
+struct VerdictMsg {
+  std::uint64_t epoch = 0;
+  std::uint8_t match = 1;
+  std::uint64_t mismatched_nodes = 0;
+  void pup(pup::Puper& p) {
+    p | epoch;
+    p | match;
+    p | mismatched_nodes;
+  }
+};
+
+struct EpochMsg {
+  std::uint64_t epoch = 0;
+  void pup(pup::Puper& p) { p | epoch; }
+};
+
+/// Restore command: which checkpoint epoch to restore and which restore
+/// barrier (wave) the resulting kRestoreDone belongs to. Barrier ids let
+/// the manager re-issue a rollback wave (after overlapping failures)
+/// without stale acknowledgements from the abandoned wave corrupting the
+/// new barrier's count.
+struct RestoreCmdMsg {
+  std::uint64_t epoch = 0;
+  std::uint64_t barrier = 0;
+  void pup(pup::Puper& p) {
+    p | epoch;
+    p | barrier;
+  }
+};
+
+struct BarrierMsg {
+  std::uint64_t barrier = 0;
+  void pup(pup::Puper& p) { p | barrier; }
+};
+
+struct ChecksumMsg {
+  std::uint64_t epoch = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t full_bytes = 0;  ///< size of the checkpoint the digest covers
+  void pup(pup::Puper& p) {
+    p | epoch;
+    p | digest;
+    p | full_bytes;
+  }
+};
+
+struct CheckpointMsg {
+  std::uint64_t epoch = 0;
+  std::uint64_t iteration = 0;
+  std::uint8_t purpose = 0;   ///< 0: compare, 1: restore
+  std::uint64_t barrier = 0;  ///< restore barrier id (purpose=1 only)
+  std::vector<std::byte> data;
+  void pup(pup::Puper& p) {
+    p | epoch;
+    p | iteration;
+    p | purpose;
+    p | barrier;
+    std::uint64_t n = data.size();
+    p | n;
+    if (p.is_unpacking()) data.resize(n);
+    if (n > 0) p.raw_bytes(data.data(), static_cast<std::size_t>(n));
+  }
+};
+
+struct SuspectMsg {
+  std::int32_t replica = 0;
+  std::int32_t node_index = 0;
+  void pup(pup::Puper& p) {
+    p | replica;
+    p | node_index;
+  }
+};
+
+}  // namespace acr::wire

@@ -1,0 +1,54 @@
+// Table 2 of the paper: per-core mini-application configurations and the
+// resulting checkpoint footprints. The large-scale benches (Figs. 8-11)
+// need only the checkpoint bytes per node; the runtime-scale tests and
+// Fig. 12 use scaled-down instances of the real task classes.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace acr::apps {
+
+struct MiniAppSpec {
+  const char* name;
+  const char* model;        ///< "charm" or "ampi"
+  const char* config;       ///< Table 2 configuration string
+  bool high_memory_pressure;
+  /// Checkpoint bytes per core on BG/P implied by the configuration
+  /// (user data serialized by PUP).
+  double checkpoint_bytes_per_core;
+  /// Serialization slowdown factor relative to a flat memcpy: 1 = one
+  /// contiguous block; higher = scattered / complex structures (the paper
+  /// notes LULESH's costlier serialization and the MD apps' scattered
+  /// memory).
+  double serialization_complexity;
+};
+
+/// The six evaluated variants of Fig. 8/10 in paper order.
+inline constexpr std::array<MiniAppSpec, 6> kTable2 = {{
+    // Jacobi3D: 64*64*128 doubles/core = 4 MiB/core.
+    {"Jacobi3D-Charm", "charm", "64*64*128 grid points", true,
+     64.0 * 64 * 128 * 8, 1.0},
+    {"Jacobi3D-AMPI", "ampi", "64*64*128 grid points", true,
+     64.0 * 64 * 128 * 8, 1.1},
+    // HPCCG: 40^3 rows/core, CG keeps ~4 row-length vectors + operator data.
+    {"HPCCG", "ampi", "40*40*40 grid points", true,
+     40.0 * 40 * 40 * 8 * 9, 1.2},
+    // LULESH: 32*32*64 elements/core, ~16 element fields + ~6 nodal fields.
+    {"LULESH", "ampi", "32*32*64 mesh elements", true,
+     32.0 * 32 * 64 * 8 * 14, 1.8},
+    // LeanMD: 4000 atoms/core * (pos+vel+id) ~ 56 B/atom.
+    {"LeanMD", "charm", "4000 atoms", false, 4000.0 * 56, 2.5},
+    // miniMD: 1000 atoms/core + neighbor lists.
+    {"miniMD", "ampi", "1000 atoms", false, 1000.0 * 56 * 3, 2.5},
+}};
+
+/// BG/P ran 4 cores per node in the paper's SMP ("shared-memory") mode.
+inline constexpr int kCoresPerNode = 4;
+
+inline double checkpoint_bytes_per_node(const MiniAppSpec& spec) {
+  return spec.checkpoint_bytes_per_core * kCoresPerNode;
+}
+
+}  // namespace acr::apps

@@ -1,0 +1,39 @@
+#include "checksum/crc32c.h"
+
+#include <array>
+
+namespace acr::checksum {
+
+namespace {
+
+// Table for the Castagnoli polynomial 0x1EDC6F41 (reflected: 0x82F63B78).
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+void Crc32c::append(std::span<const std::byte> block) {
+  std::uint32_t crc = state_;
+  for (std::byte b : block)
+    crc = (crc >> 8) ^
+          kTable[(crc ^ static_cast<std::uint32_t>(b)) & 0xFFu];
+  state_ = crc;
+}
+
+std::uint32_t crc32c(std::span<const std::byte> data) {
+  Crc32c c;
+  c.append(data);
+  return c.digest();
+}
+
+}  // namespace acr::checksum

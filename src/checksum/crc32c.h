@@ -1,0 +1,27 @@
+// CRC32-C (Castagnoli) — the comparison point for Fletcher-64 in the §4.2
+// checksum trade-off ablation. CRC detects all burst errors up to 32 bits
+// and has better mixing than Fletcher, at a higher per-byte cost in a
+// portable (table-driven, no SSE4.2) implementation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace acr::checksum {
+
+/// One-shot CRC32-C of a buffer.
+std::uint32_t crc32c(std::span<const std::byte> data);
+
+/// Incremental interface (byte-granular; any block sizes compose).
+class Crc32c {
+ public:
+  void append(std::span<const std::byte> block);
+  std::uint32_t digest() const { return state_ ^ 0xFFFFFFFFu; }
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace acr::checksum

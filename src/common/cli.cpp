@@ -1,0 +1,202 @@
+#include "common/cli.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/require.h"
+
+namespace acr {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_flag(const std::string& name, bool* target,
+                         const std::string& help) {
+  Option opt;
+  opt.help = help;
+  opt.default_repr = *target ? "true" : "false";
+  opt.is_bool = true;
+  opt.apply = [target](const std::string& v) {
+    if (v == "" || v == "true" || v == "1") {
+      *target = true;
+      return true;
+    }
+    if (v == "false" || v == "0") {
+      *target = false;
+      return true;
+    }
+    return false;
+  };
+  options_[name] = std::move(opt);
+}
+
+void CliParser::add_int(const std::string& name, int* target,
+                        const std::string& help) {
+  Option opt;
+  opt.help = help;
+  opt.default_repr = std::to_string(*target);
+  opt.apply = [target](const std::string& v) {
+    try {
+      std::size_t pos = 0;
+      int parsed = std::stoi(v, &pos);
+      if (pos != v.size()) return false;
+      *target = parsed;
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+  options_[name] = std::move(opt);
+}
+
+void CliParser::add_uint64(const std::string& name, std::uint64_t* target,
+                           const std::string& help) {
+  Option opt;
+  opt.help = help;
+  opt.default_repr = std::to_string(*target);
+  opt.apply = [target](const std::string& v) {
+    try {
+      std::size_t pos = 0;
+      std::uint64_t parsed = std::stoull(v, &pos);
+      if (pos != v.size()) return false;
+      *target = parsed;
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+  options_[name] = std::move(opt);
+}
+
+void CliParser::add_double(const std::string& name, double* target,
+                           const std::string& help) {
+  Option opt;
+  opt.help = help;
+  std::ostringstream repr;
+  repr << *target;
+  opt.default_repr = repr.str();
+  opt.apply = [target](const std::string& v) {
+    try {
+      std::size_t pos = 0;
+      double parsed = std::stod(v, &pos);
+      if (pos != v.size()) return false;
+      *target = parsed;
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+  options_[name] = std::move(opt);
+}
+
+void CliParser::add_string(const std::string& name, std::string* target,
+                           const std::string& help) {
+  Option opt;
+  opt.help = help;
+  opt.default_repr = *target;
+  opt.apply = [target](const std::string& v) {
+    *target = v;
+    return true;
+  };
+  options_[name] = std::move(opt);
+}
+
+void CliParser::add_choice(const std::string& name, std::string* target,
+                           std::vector<std::string> choices,
+                           const std::string& help) {
+  ACR_REQUIRE(!choices.empty(), "choice option needs at least one choice");
+  Option opt;
+  opt.help = help;
+  opt.default_repr = *target;
+  opt.choices = choices;
+  opt.apply = [target, choices](const std::string& v) {
+    if (std::find(choices.begin(), choices.end(), v) == choices.end())
+      return false;
+    *target = v;
+    return true;
+  };
+  options_[name] = std::move(opt);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "%s", usage().c_str());
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument '%s'\n%s",
+                   arg.c_str(), usage().c_str());
+      return false;
+    }
+    std::string body = arg.substr(2);
+    std::string name = body;
+    std::optional<std::string> value;
+    std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    }
+    // --no-<flag> negation for bools.
+    bool negated = false;
+    auto it = options_.find(name);
+    if (it == options_.end() && name.rfind("no-", 0) == 0) {
+      it = options_.find(name.substr(3));
+      if (it != options_.end() && it->second.is_bool) {
+        negated = true;
+      } else {
+        it = options_.end();
+      }
+    }
+    if (it == options_.end()) {
+      std::fprintf(stderr, "unknown flag '--%s'\n%s", name.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    Option& opt = it->second;
+    if (negated) {
+      opt.apply("false");
+      continue;
+    }
+    if (!value) {
+      if (opt.is_bool) {
+        value = "";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag '--%s' needs a value\n%s", name.c_str(),
+                     usage().c_str());
+        return false;
+      }
+    }
+    if (!opt.apply(*value)) {
+      std::fprintf(stderr, "invalid value '%s' for flag '--%s'\n%s",
+                   value->c_str(), name.c_str(), usage().c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream out;
+  out << description_ << "\n\noptions:\n";
+  for (const auto& [name, opt] : options_) {
+    out << "  --" << name;
+    if (!opt.choices.empty()) {
+      out << " {";
+      for (std::size_t i = 0; i < opt.choices.size(); ++i)
+        out << (i ? "," : "") << opt.choices[i];
+      out << "}";
+    } else if (!opt.is_bool) {
+      out << " <value>";
+    }
+    out << "\n      " << opt.help << " (default: " << opt.default_repr
+        << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace acr

@@ -1,0 +1,53 @@
+// Minimal command-line flag parser for the bench/example drivers.
+//
+// Supports --name=value and --name value forms, bool flags (--adaptive,
+// --no-adaptive), and prints a generated usage text. Unknown flags are
+// errors: a typo silently running the wrong experiment is worse than a
+// failure.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace acr {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  void add_flag(const std::string& name, bool* target,
+                const std::string& help);
+  void add_int(const std::string& name, int* target, const std::string& help);
+  void add_uint64(const std::string& name, std::uint64_t* target,
+                  const std::string& help);
+  void add_double(const std::string& name, double* target,
+                  const std::string& help);
+  void add_string(const std::string& name, std::string* target,
+                  const std::string& help);
+  /// Enumerated string option: value must be one of `choices`.
+  void add_choice(const std::string& name, std::string* target,
+                  std::vector<std::string> choices, const std::string& help);
+
+  /// Parse argv. Returns true on success; on failure (or --help) prints
+  /// usage to stderr and returns false.
+  bool parse(int argc, const char* const* argv);
+
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string default_repr;
+    bool is_bool = false;
+    std::vector<std::string> choices;
+    std::function<bool(const std::string&)> apply;
+  };
+
+  std::string description_;
+  std::map<std::string, Option> options_;
+};
+
+}  // namespace acr

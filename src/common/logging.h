@@ -1,0 +1,58 @@
+// Minimal leveled logger.
+//
+// ACR components log protocol events (checkpoint scheduled, failure
+// detected, recovery complete) at Info; per-message chatter at Debug.
+// The level is process-global and tests silence it by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace acr {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-global log level control.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line at `level` with the component tag. Thread-safe.
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { log_line(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogStream log_debug(std::string component) {
+  return detail::LogStream(LogLevel::Debug, std::move(component));
+}
+inline detail::LogStream log_info(std::string component) {
+  return detail::LogStream(LogLevel::Info, std::move(component));
+}
+inline detail::LogStream log_warn(std::string component) {
+  return detail::LogStream(LogLevel::Warn, std::move(component));
+}
+inline detail::LogStream log_error(std::string component) {
+  return detail::LogStream(LogLevel::Error, std::move(component));
+}
+
+}  // namespace acr

@@ -1,0 +1,43 @@
+// Runtime precondition / invariant checking.
+//
+// ACR_REQUIRE is always on (it guards API misuse that would otherwise
+// corrupt protocol state); ACR_ASSERT compiles out in NDEBUG builds and is
+// meant for internal invariants on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace acr {
+
+/// Thrown when an ACR_REQUIRE precondition fails.
+class RequireError : public std::logic_error {
+ public:
+  explicit RequireError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void require_fail(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::string full = std::string("requirement failed: ") + cond + " at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw RequireError(full);
+}
+
+}  // namespace acr
+
+#define ACR_REQUIRE(cond, msg)                                 \
+  do {                                                         \
+    if (!(cond)) ::acr::require_fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define ACR_ASSERT(cond) ((void)0)
+#else
+#define ACR_ASSERT(cond)                                      \
+  do {                                                        \
+    if (!(cond)) ::acr::require_fail(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+#endif

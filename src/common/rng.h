@@ -1,0 +1,110 @@
+// Deterministic, splittable random number generation.
+//
+// All stochastic components of ACR (failure injection, bit-flip placement,
+// workload generation) draw from SplitMix64-seeded PCG32 streams so that a
+// run is exactly reproducible from a single master seed, and independent
+// components can be given independent streams without coordination.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace acr {
+
+/// SplitMix64: used to expand one user seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// PCG32 (XSH-RR variant). Small state, excellent statistical quality,
+/// independent streams selected by the `stream` constructor argument.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  Pcg32() : Pcg32(0x853C49E6748FEA9BULL, 0xDA3E39CB94B95BDBULL) {}
+
+  Pcg32(std::uint64_t seed, std::uint64_t stream = 1) {
+    inc_ = (stream << 1u) | 1u;
+    state_ = 0;
+    next();
+    state_ += seed;
+    next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  result_type next() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    std::uint32_t xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Unbiased integer in [0, bound) via Lemire rejection.
+  std::uint32_t bounded(std::uint32_t bound) {
+    if (bound <= 1) return 0;
+    std::uint64_t m = static_cast<std::uint64_t>(next()) * bound;
+    std::uint32_t lo = static_cast<std::uint32_t>(m);
+    if (lo < bound) {
+      std::uint32_t threshold = (0u - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<std::uint64_t>(next()) * bound;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  std::uint64_t next64() {
+    return (static_cast<std::uint64_t>(next()) << 32) | next();
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Factory handing out independent PCG32 streams from one master seed.
+class RngFactory {
+ public:
+  explicit RngFactory(std::uint64_t master_seed) : mix_(master_seed) {}
+
+  /// Each call returns a new statistically independent generator.
+  Pcg32 make() {
+    std::uint64_t seed = mix_.next();
+    std::uint64_t stream = mix_.next();
+    return Pcg32(seed, stream);
+  }
+
+ private:
+  SplitMix64 mix_;
+};
+
+}  // namespace acr

@@ -1,0 +1,32 @@
+// Plain-text table printer for the benchmark harness: every bench binary
+// prints the rows/series of the paper figure it regenerates through this so
+// the output format is uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace acr {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  static std::string fmt(double v, int precision = 4);
+
+  /// Render with column alignment to a string (ends with newline).
+  std::string render() const;
+
+  /// Render directly to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace acr

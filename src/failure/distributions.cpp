@@ -1,0 +1,92 @@
+#include "failure/distributions.h"
+
+#include "common/require.h"
+
+namespace acr::failure {
+
+namespace {
+
+/// Standard normal via Box–Muller (one value per call; simple and fine for
+/// the rates we need).
+double standard_normal(Pcg32& rng) {
+  double u1 = 0.0;
+  do {
+    u1 = rng.uniform();
+  } while (u1 <= 0.0);
+  double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+/// Uniform in (0, 1] to feed -log() safely.
+double uniform_pos(Pcg32& rng) { return 1.0 - rng.uniform(); }
+
+}  // namespace
+
+Exponential::Exponential(double mean) : mean_(mean) {
+  ACR_REQUIRE(mean > 0.0, "exponential mean must be positive");
+}
+
+double Exponential::sample(Pcg32& rng) const {
+  return -mean_ * std::log(uniform_pos(rng));
+}
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  ACR_REQUIRE(shape > 0.0 && scale > 0.0,
+              "weibull shape and scale must be positive");
+}
+
+Weibull Weibull::with_mean(double shape, double mean) {
+  ACR_REQUIRE(mean > 0.0, "weibull mean must be positive");
+  double scale = mean / std::tgamma(1.0 + 1.0 / shape);
+  return Weibull(shape, scale);
+}
+
+double Weibull::sample(Pcg32& rng) const {
+  return scale_ * std::pow(-std::log(uniform_pos(rng)), 1.0 / shape_);
+}
+
+double Weibull::mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  ACR_REQUIRE(sigma > 0.0, "lognormal sigma must be positive");
+}
+
+double LogNormal::sample(Pcg32& rng) const {
+  return std::exp(mu_ + sigma_ * standard_normal(rng));
+}
+
+double LogNormal::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+WeibullProcess::WeibullProcess(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  ACR_REQUIRE(shape > 0.0 && scale > 0.0,
+              "weibull process shape and scale must be positive");
+}
+
+double WeibullProcess::cumulative_intensity(double t) const {
+  return std::pow(t / scale_, shape_);
+}
+
+double WeibullProcess::next_after(double now, Pcg32& rng) {
+  ACR_REQUIRE(now >= 0.0, "process time must be non-negative");
+  double target = cumulative_intensity(now) - std::log(uniform_pos(rng));
+  return scale_ * std::pow(target, 1.0 / shape_);
+}
+
+std::vector<double> draw_failure_trace(ArrivalProcess& process, double horizon,
+                                       Pcg32& rng) {
+  std::vector<double> trace;
+  double t = 0.0;
+  while (true) {
+    t = process.next_after(t, rng);
+    if (t > horizon) break;
+    trace.push_back(t);
+  }
+  return trace;
+}
+
+}  // namespace acr::failure

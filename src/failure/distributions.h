@@ -1,0 +1,123 @@
+// Failure-time distributions and arrival processes (§2.2, §6).
+//
+// The paper injects failures following both Poisson (exponential
+// inter-arrival) and Weibull processes; HPC failure logs are better fitted
+// by Weibull with a decreasing hazard (shape < 1), which is what makes an
+// adaptive checkpoint interval pay off (Fig. 12 uses shape 0.6).
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace acr::failure {
+
+/// A positive continuous distribution of times.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  virtual double sample(Pcg32& rng) const = 0;
+  virtual double mean() const = 0;
+  virtual std::string name() const = 0;
+};
+
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double mean);
+  double sample(Pcg32& rng) const override;
+  double mean() const override { return mean_; }
+  std::string name() const override { return "exponential"; }
+
+ private:
+  double mean_;
+};
+
+class Weibull final : public Distribution {
+ public:
+  /// shape k, scale lambda. Mean = lambda * Gamma(1 + 1/k).
+  Weibull(double shape, double scale);
+  /// Construct with a target mean instead of a scale.
+  static Weibull with_mean(double shape, double mean);
+
+  double sample(Pcg32& rng) const override;
+  double mean() const override;
+  std::string name() const override { return "weibull"; }
+
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+class LogNormal final : public Distribution {
+ public:
+  /// Parameters of the underlying normal (mu, sigma).
+  LogNormal(double mu, double sigma);
+  double sample(Pcg32& rng) const override;
+  double mean() const override;
+  std::string name() const override { return "lognormal"; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+// ---------------------------------------------------------------------------
+// Arrival processes: streams of absolute failure times.
+// ---------------------------------------------------------------------------
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  /// Absolute time of the next failure strictly after `now`.
+  virtual double next_after(double now, Pcg32& rng) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Renewal process: iid inter-arrival times from a distribution. With an
+/// Exponential distribution this is the Poisson process.
+class RenewalProcess final : public ArrivalProcess {
+ public:
+  explicit RenewalProcess(std::shared_ptr<const Distribution> dist)
+      : dist_(std::move(dist)) {}
+  double next_after(double now, Pcg32& rng) override {
+    return now + dist_->sample(rng);
+  }
+  std::string name() const override {
+    return "renewal(" + dist_->name() + ")";
+  }
+
+ private:
+  std::shared_ptr<const Distribution> dist_;
+};
+
+/// Non-homogeneous Poisson process with Weibull intensity
+///   lambda(t) = (k/s) * (t/s)^(k-1).
+/// Sampled exactly by time rescaling: Lambda(t) = (t/s)^k, and
+/// t_next = Lambda^{-1}(Lambda(now) + Exp(1)). With k < 1 the failure rate
+/// decreases over the run — the regime Fig. 12 demonstrates adaptivity in.
+class WeibullProcess final : public ArrivalProcess {
+ public:
+  WeibullProcess(double shape, double scale);
+  double next_after(double now, Pcg32& rng) override;
+  std::string name() const override { return "weibull-process"; }
+
+  /// Expected number of events in [0, t].
+  double cumulative_intensity(double t) const;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Pre-draws a full failure trace over [0, horizon]; convenient for the
+/// Monte-Carlo lifetime simulator and for reproducible fault injection.
+std::vector<double> draw_failure_trace(ArrivalProcess& process, double horizon,
+                                       Pcg32& rng);
+
+}  // namespace acr::failure

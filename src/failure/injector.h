@@ -1,0 +1,75 @@
+// Fault injectors (§6.1).
+//
+// * SDC: "flips a randomly selected bit in the user data that will be
+//   checkpointed". We realize exactly that — serialize the victim object
+//   with PUP, flip one random bit inside a *payload* region (record headers
+//   excluded, so the flip lands in user data rather than framing), and
+//   deserialize back into the live object.
+// * Hard errors are modelled by the runtime as no-response nodes (see
+//   acr::rt); this header only provides the shared arrival machinery.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/rng.h"
+#include "pup/pup.h"
+
+namespace acr::failure {
+
+struct BitFlip {
+  std::size_t byte_offset = 0;
+  unsigned bit = 0;
+};
+
+/// Which stream records a flip may land in.
+enum class FlipPolicy {
+  /// Only floating point payloads (F32/F64) — the bulk "user data" of HPC
+  /// applications and what the paper's injector effectively corrupts.
+  /// Flips here silently distort results without deranging control flow.
+  FloatingPointOnly,
+  /// Any payload byte, including integer counters and indices. Such flips
+  /// can send the victim's control flow arbitrarily off the rails — a
+  /// stress mode beyond the paper's experiments.
+  AnyPayload,
+};
+
+/// Flip one uniformly random bit among the eligible payload bytes of a PUP
+/// stream. Returns the flip location. Requires at least one eligible byte.
+BitFlip flip_random_payload_bit(std::span<std::byte> stream, Pcg32& rng,
+                                FlipPolicy policy = FlipPolicy::AnyPayload);
+
+/// Byte count eligible for flips under `policy` (exposed for tests and for
+/// exhaustive flip sweeps in property tests).
+std::size_t payload_bytes(std::span<const std::byte> stream,
+                          FlipPolicy policy = FlipPolicy::AnyPayload);
+
+/// Convenience: run the serialize–flip–deserialize cycle on a pup-able
+/// object, corrupting its live state exactly as checkpointing would see it.
+/// Requires at least one eligible byte (throws RequireError otherwise);
+/// use try_inject_sdc when the victim's eligibility is unknown.
+template <typename T>
+BitFlip inject_sdc(T& victim, Pcg32& rng,
+                   FlipPolicy policy = FlipPolicy::AnyPayload) {
+  pup::Checkpoint image = pup::make_checkpoint(victim);
+  BitFlip flip = flip_random_payload_bit(image.mutable_bytes(), rng, policy);
+  pup::restore_checkpoint(victim, image);
+  return flip;
+}
+
+/// Like inject_sdc, but returns nullopt when the victim has no eligible
+/// payload (e.g. a freshly created, still-empty task on a spare node — a
+/// flip into unallocated state is physically a no-op anyway).
+template <typename T>
+std::optional<BitFlip> try_inject_sdc(T& victim, Pcg32& rng,
+                                      FlipPolicy policy) {
+  pup::Checkpoint image = pup::make_checkpoint(victim);
+  if (payload_bytes(image.bytes(), policy) == 0) return std::nullopt;
+  BitFlip flip = flip_random_payload_bit(image.mutable_bytes(), rng, policy);
+  pup::restore_checkpoint(victim, image);
+  return flip;
+}
+
+}  // namespace acr::failure

@@ -1,0 +1,267 @@
+#include "model/acr_model.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/require.h"
+#include "failure/adaptive_interval.h"
+
+namespace acr::model {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Golden-section minimization of a unimodal-ish f over [lo, hi]. The model
+/// curves are smooth with one interior minimum; we seed with a coarse scan
+/// to be robust to the +inf plateau where the scheme is infeasible.
+template <typename F>
+double minimize(F f, double lo, double hi) {
+  ACR_REQUIRE(hi > lo, "minimize needs a non-empty interval");
+  // Coarse log-spaced scan for a bracket.
+  constexpr int kScan = 64;
+  double best_x = lo, best_f = f(lo);
+  for (int i = 1; i <= kScan; ++i) {
+    double x = lo * std::pow(hi / lo, static_cast<double>(i) / kScan);
+    double v = f(x);
+    if (v < best_f) {
+      best_f = v;
+      best_x = x;
+    }
+  }
+  // Refine around best_x.
+  double a = best_x / std::pow(hi / lo, 1.5 / kScan);
+  double b = best_x * std::pow(hi / lo, 1.5 / kScan);
+  a = std::max(a, lo);
+  b = std::min(b, hi);
+  constexpr double kPhi = 0.6180339887498949;
+  double x1 = b - kPhi * (b - a);
+  double x2 = a + kPhi * (b - a);
+  double f1 = f(x1), f2 = f(x2);
+  for (int it = 0; it < 80 && (b - a) > 1e-9 * std::max(1.0, b); ++it) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kPhi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  double mid = 0.5 * (a + b);
+  return f(mid) <= best_f ? mid : best_x;
+}
+
+}  // namespace
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::Strong: return "strong";
+    case Scheme::Medium: return "medium";
+    case Scheme::Weak: return "weak";
+  }
+  return "?";
+}
+
+AcrModel::AcrModel(const SystemParams& params) : params_(params) {
+  ACR_REQUIRE(params.work > 0.0, "work must be positive");
+  ACR_REQUIRE(params.checkpoint_cost > 0.0, "checkpoint cost must be positive");
+  ACR_REQUIRE(params.sockets_per_replica > 0, "need at least one socket");
+}
+
+double AcrModel::multi_failure_probability(double tau) const {
+  double period = (tau + params_.checkpoint_cost) / params_.system_hard_mtbf();
+  // P(N >= 2) for Poisson arrivals over one checkpoint period.
+  return 1.0 - std::exp(-period) * (1.0 + period);
+}
+
+double AcrModel::total_time(Scheme scheme, double tau) const {
+  const double W = params_.work;
+  const double d = params_.checkpoint_cost;
+  const double MH = params_.system_hard_mtbf();
+  const double MS = params_.system_sdc_mtbf();
+  const double RH = params_.restart_hard;
+  const double RS = params_.restart_sdc;
+  ACR_REQUIRE(tau > 0.0, "tau must be positive");
+
+  // Delta: (W / tau - 1) checkpoints of cost d (never negative).
+  double n_ckpt = std::max(0.0, W / tau - 1.0);
+  double delta_total = n_ckpt * d;
+
+  // Per-unit-T overhead fractions; T (W + Delta) / (1 - fractions).
+  double restart_frac = RH / MH + RS / MS;
+  double sdc_rework_frac = (tau + d) / MS;
+
+  double hard_rework_frac = 0.0;
+  double extra_const = 0.0;  // additive terms not proportional to this T
+  switch (scheme) {
+    case Scheme::Strong:
+      hard_rework_frac = (tau + d) / (2.0 * MH);
+      break;
+    case Scheme::Medium:
+      hard_rework_frac = d / MH;
+      break;
+    case Scheme::Weak: {
+      // Paper's equation references T_S in the hard-rework term: the weak
+      // scheme only reworks when >1 failure lands in a period (prob. P).
+      double ts = total_time(Scheme::Strong, tau);
+      if (std::isinf(ts)) return kInf;
+      double p = multi_failure_probability(tau);
+      extra_const = ts / MH * ((tau + d) / 2.0) * p;
+      break;
+    }
+  }
+
+  double denom = 1.0 - restart_frac - sdc_rework_frac - hard_rework_frac;
+  if (denom <= 0.0) return kInf;
+  return (W + delta_total + extra_const) / denom;
+}
+
+double AcrModel::prob_undetected_sdc(Scheme scheme, double tau) const {
+  if (scheme == Scheme::Strong) return 0.0;
+  double t = total_time(scheme, tau);
+  if (std::isinf(t)) return 1.0;
+  // Expected number of hard failures over the run, each opening an
+  // unprotected window in the healthy replica.
+  double n_hard = t / params_.system_hard_mtbf();
+  double window = scheme == Scheme::Medium
+                      ? (tau + params_.checkpoint_cost) / 2.0
+                      : (tau + params_.checkpoint_cost);
+  double exposure = n_hard * window / params_.replica_sdc_mtbf();
+  return 1.0 - std::exp(-exposure);
+}
+
+double AcrModel::optimal_tau(Scheme scheme) const {
+  const double lo = std::max(1e-3, params_.checkpoint_cost * 1e-2);
+  const double hi = params_.work;
+  return minimize([&](double tau) { return total_time(scheme, tau); }, lo, hi);
+}
+
+SchemeEvaluation AcrModel::evaluate(Scheme scheme) const {
+  return evaluate_at(scheme, optimal_tau(scheme));
+}
+
+SchemeEvaluation AcrModel::evaluate_at(Scheme scheme, double tau) const {
+  SchemeEvaluation e;
+  e.scheme = scheme;
+  e.tau = tau;
+  e.total_time = total_time(scheme, tau);
+  e.utilization = std::isinf(e.total_time)
+                      ? 0.0
+                      : params_.work / (2.0 * e.total_time);
+  e.prob_undetected_sdc = prob_undetected_sdc(scheme, tau);
+
+  const double d = params_.checkpoint_cost;
+  const double MH = params_.system_hard_mtbf();
+  const double MS = params_.system_sdc_mtbf();
+  e.checkpoint_time = std::max(0.0, params_.work / tau - 1.0) * d;
+  if (!std::isinf(e.total_time)) {
+    e.restart_time = e.total_time / MH * params_.restart_hard +
+                     e.total_time / MS * params_.restart_sdc;
+    e.rework_sdc = e.total_time / MS * (tau + d);
+    switch (scheme) {
+      case Scheme::Strong:
+        e.rework_hard = e.total_time / MH * (tau + d) / 2.0;
+        break;
+      case Scheme::Medium:
+        e.rework_hard = e.total_time / MH * d;
+        break;
+      case Scheme::Weak: {
+        double ts = total_time(Scheme::Strong, tau);
+        e.rework_hard =
+            ts / MH * ((tau + d) / 2.0) * multi_failure_probability(tau);
+        break;
+      }
+    }
+  }
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 1 baselines.
+// ---------------------------------------------------------------------------
+
+BaselinePoint model_no_ft(double work, int total_sockets,
+                          double socket_mtbf_hard, double sdc_fit_per_socket) {
+  BaselinePoint p;
+  double mh = socket_mtbf_hard / total_sockets;
+  double ms = fit_to_mtbf_seconds(sdc_fit_per_socket) / total_sockets;
+  // Restart-from-scratch under Poisson failures: E[T] = M (e^{W/M} - 1).
+  double expected_t = mh * std::expm1(work / mh);
+  p.utilization = work / expected_t;
+  // Corruption anywhere during the (useful) execution goes unnoticed.
+  p.vulnerability = 1.0 - std::exp(-expected_t / ms);
+  return p;
+}
+
+BaselinePoint model_checkpoint_only(double work, int total_sockets,
+                                    double socket_mtbf_hard,
+                                    double sdc_fit_per_socket,
+                                    double checkpoint_cost,
+                                    double restart_hard) {
+  BaselinePoint p;
+  double mh = socket_mtbf_hard / total_sockets;
+  double ms = fit_to_mtbf_seconds(sdc_fit_per_socket) / total_sockets;
+  double tau = failure::daly_interval(checkpoint_cost, mh);
+  tau = std::min(tau, work);
+  double n_ckpt = std::max(0.0, work / tau - 1.0);
+  double frac = (restart_hard + (tau + checkpoint_cost) / 2.0) / mh;
+  if (frac >= 1.0) {
+    p.utilization = 0.0;
+    p.vulnerability = 1.0;
+    return p;
+  }
+  double t = (work + n_ckpt * checkpoint_cost) / (1.0 - frac);
+  p.utilization = work / t;
+  p.vulnerability = 1.0 - std::exp(-t / ms);
+  return p;
+}
+
+BaselinePoint model_acr(double work, int total_sockets,
+                        double socket_mtbf_hard, double sdc_fit_per_socket,
+                        double checkpoint_cost, double restart_hard,
+                        double restart_sdc) {
+  SystemParams sp;
+  sp.work = work;
+  sp.checkpoint_cost = checkpoint_cost;
+  sp.restart_hard = restart_hard;
+  sp.restart_sdc = restart_sdc;
+  sp.socket_mtbf_hard = socket_mtbf_hard;
+  sp.sdc_fit_per_socket = sdc_fit_per_socket;
+  sp.sockets_per_replica = total_sockets / 2;
+  AcrModel model(sp);
+  SchemeEvaluation e = model.evaluate(Scheme::Strong);
+  BaselinePoint p;
+  p.utilization = e.utilization;
+  p.vulnerability = 0.0;  // strong scheme cross-checks every period
+  return p;
+}
+
+BaselinePoint model_tmr(double work, int total_sockets,
+                        double socket_mtbf_hard, double sdc_fit_per_socket,
+                        double checkpoint_cost, double restart_hard) {
+  BaselinePoint p;
+  int per_replica = total_sockets / 3;
+  if (per_replica < 1) return p;
+  double mh = socket_mtbf_hard / total_sockets;
+  // SDC is out-voted without rollback; only hard errors force recovery.
+  double tau = failure::daly_interval(checkpoint_cost, mh);
+  tau = std::min(tau, work);
+  double n_ckpt = std::max(0.0, work / tau - 1.0);
+  // With triplicated state a crashed node restores from either twin:
+  // rework is limited to the restart cost.
+  double frac = restart_hard / mh;
+  if (frac >= 1.0) return p;
+  double t = (work + n_ckpt * checkpoint_cost) / (1.0 - frac);
+  p.utilization = work / (3.0 * t);
+  p.vulnerability = 0.0;
+  (void)sdc_fit_per_socket;
+  return p;
+}
+
+}  // namespace acr::model

@@ -1,0 +1,112 @@
+// Closed-form model of ACR's three resilience schemes (§5).
+//
+// Total execution time decomposes as
+//   T = T_solve + T_checkpoint + T_restart + T_rework
+// with per-scheme rework terms:
+//   strong: hard errors roll the crashed replica back (tau+delta)/2 on
+//           average; every detected SDC rolls both replicas back a full
+//           period.
+//   medium: a hard error costs only the immediate extra checkpoint delta;
+//           SDC terms as strong; the window [last checkpoint, crash] is
+//           unprotected.
+//   weak:   hard errors cost (on average) nothing unless a second failure
+//           lands within the same period (probability P, the paper's loose
+//           upper bound); a whole period is unprotected per failure.
+//
+// The equations are linear in T once tau is fixed; the optimum tau is found
+// numerically per scheme.
+#pragma once
+
+#include <string>
+
+#include "model/params.h"
+
+namespace acr::model {
+
+enum class Scheme { Strong, Medium, Weak };
+
+const char* scheme_name(Scheme s);
+
+struct SchemeEvaluation {
+  Scheme scheme = Scheme::Strong;
+  double tau = 0.0;               ///< checkpoint period used, seconds
+  double total_time = 0.0;        ///< T, seconds
+  double utilization = 0.0;       ///< W / (2 T): replication loss included
+  double prob_undetected_sdc = 0.0;
+  // Decomposition (seconds):
+  double checkpoint_time = 0.0;   ///< Delta
+  double restart_time = 0.0;      ///< R
+  double rework_hard = 0.0;
+  double rework_sdc = 0.0;
+};
+
+class AcrModel {
+ public:
+  explicit AcrModel(const SystemParams& params);
+
+  const SystemParams& params() const { return params_; }
+
+  /// T for the given scheme at checkpoint period tau. Returns +inf when the
+  /// failure rate is too high for the scheme to make forward progress.
+  double total_time(Scheme scheme, double tau) const;
+
+  /// Paper's P: probability of more than one hard failure within one
+  /// checkpoint period (loose upper bound on the weak-scheme rollback
+  /// probability).
+  double multi_failure_probability(double tau) const;
+
+  /// Probability that an SDC strikes the healthy replica inside an
+  /// unprotected window somewhere during the job (0 for strong).
+  double prob_undetected_sdc(Scheme scheme, double tau) const;
+
+  /// Numerically optimal checkpoint period for the scheme.
+  double optimal_tau(Scheme scheme) const;
+
+  /// Full evaluation at the optimal period.
+  SchemeEvaluation evaluate(Scheme scheme) const;
+  /// Full evaluation at a caller-chosen period.
+  SchemeEvaluation evaluate_at(Scheme scheme, double tau) const;
+
+ private:
+  SystemParams params_;
+};
+
+// ---------------------------------------------------------------------------
+// Fig. 1 baselines: utilization and vulnerability surfaces.
+// ---------------------------------------------------------------------------
+
+struct BaselinePoint {
+  double utilization = 0.0;
+  double vulnerability = 0.0;  ///< P(job finishes with silent corruption)
+};
+
+/// No fault tolerance: a hard failure restarts the job from scratch;
+/// nothing detects SDC. `total_sockets` all do useful work.
+BaselinePoint model_no_ft(double work, int total_sockets,
+                          double socket_mtbf_hard, double sdc_fit_per_socket);
+
+/// Classic checkpoint/restart (hard errors only): Daly-optimal period,
+/// still blind to SDC.
+BaselinePoint model_checkpoint_only(double work, int total_sockets,
+                                    double socket_mtbf_hard,
+                                    double sdc_fit_per_socket,
+                                    double checkpoint_cost,
+                                    double restart_hard);
+
+/// ACR with the strong scheme: half the sockets per replica, zero
+/// vulnerability.
+BaselinePoint model_acr(double work, int total_sockets,
+                        double socket_mtbf_hard, double sdc_fit_per_socket,
+                        double checkpoint_cost, double restart_hard,
+                        double restart_sdc);
+
+// ---------------------------------------------------------------------------
+// Triple modular redundancy variant (§3 design-choice 4 ablation): three
+// replicas vote, SDC is corrected by majority without rollback; utilization
+// pays a 3x replication factor.
+// ---------------------------------------------------------------------------
+BaselinePoint model_tmr(double work, int total_sockets,
+                        double socket_mtbf_hard, double sdc_fit_per_socket,
+                        double checkpoint_cost, double restart_hard);
+
+}  // namespace acr::model

@@ -1,0 +1,30 @@
+#include "model/params.h"
+
+#include "common/require.h"
+
+namespace acr::model {
+
+double fit_to_mtbf_seconds(double fit) {
+  ACR_REQUIRE(fit > 0.0, "FIT rate must be positive");
+  return 1.0e9 * kSecondsPerHour / fit;
+}
+
+double mtbf_seconds_to_fit(double mtbf_seconds) {
+  ACR_REQUIRE(mtbf_seconds > 0.0, "MTBF must be positive");
+  return 1.0e9 * kSecondsPerHour / mtbf_seconds;
+}
+
+double SystemParams::system_hard_mtbf() const {
+  return socket_mtbf_hard / (2.0 * sockets_per_replica);
+}
+
+double SystemParams::system_sdc_mtbf() const {
+  return fit_to_mtbf_seconds(sdc_fit_per_socket) /
+         (2.0 * sockets_per_replica);
+}
+
+double SystemParams::replica_sdc_mtbf() const {
+  return fit_to_mtbf_seconds(sdc_fit_per_socket) / sockets_per_replica;
+}
+
+}  // namespace acr::model

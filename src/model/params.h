@@ -1,0 +1,51 @@
+// Parameters of the §5 performance/reliability model (Table 1 of the
+// paper), plus unit helpers.
+//
+//   W    total computation time            tau  optimum checkpoint period
+//   delta checkpoint time                  S    total number of sockets
+//   R_H  hard error restart time           T    total execution time
+//   R_S  restart time on SDC               T_S  T under strong resilience
+//   M_H  hard error MTBF                   T_M  T under medium resilience
+//   M_S  SDC MTBF                          T_W  T under weak resilience
+#pragma once
+
+namespace acr::model {
+
+constexpr double kSecondsPerHour = 3600.0;
+constexpr double kSecondsPerYear = 365.25 * 24.0 * kSecondsPerHour;
+
+/// FIT = failures per 10^9 device-hours. Returns the per-device MTBF in
+/// seconds.
+double fit_to_mtbf_seconds(double fit);
+
+/// Inverse of fit_to_mtbf_seconds.
+double mtbf_seconds_to_fit(double mtbf_seconds);
+
+/// Application- and system-dependent inputs (Table 1).
+struct SystemParams {
+  /// W: total useful computation time, seconds.
+  double work = 24.0 * kSecondsPerHour;
+  /// delta: time for one coordinated checkpoint, seconds.
+  double checkpoint_cost = 15.0;
+  /// R_H: restart time after a hard error, seconds.
+  double restart_hard = 30.0;
+  /// R_S: restart time after a detected SDC, seconds.
+  double restart_sdc = 30.0;
+  /// Per-socket hard-error MTBF, seconds (paper: 50 years, Jaguar-like).
+  double socket_mtbf_hard = 50.0 * kSecondsPerYear;
+  /// Per-socket silent-data-corruption rate, FIT.
+  double sdc_fit_per_socket = 100.0;
+  /// S: sockets per replica.
+  int sockets_per_replica = 1024;
+
+  /// Hard-error MTBF of the whole machine (both replicas = 2S sockets).
+  double system_hard_mtbf() const;
+  /// MTBF of *detectable* SDC events (corruption in either replica trips
+  /// the checkpoint comparison): 2S sockets.
+  double system_sdc_mtbf() const;
+  /// MTBF of SDC striking one replica (S sockets): the rate that matters
+  /// for corruption sneaking through an unprotected window.
+  double replica_sdc_mtbf() const;
+};
+
+}  // namespace acr::model

@@ -1,0 +1,64 @@
+// Checkpoint comparator — the `PUPer::checker` of the paper (§4.1).
+//
+// Walks two self-describing PUP streams (the node's local checkpoint and the
+// remote checkpoint received from its buddy in the other replica) in
+// lockstep and reports whether they represent the same application state.
+// Honours the CompareOptions scopes embedded in the stream: replica-variant
+// fields are skipped and floating point payloads are compared with the
+// application-specified relative/absolute tolerance instead of bitwise.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "pup/pup.h"
+
+namespace acr::pup {
+
+/// Where and how the first divergence was found.
+struct Mismatch {
+  std::size_t record_index = 0;   ///< ordinal of the diverging record
+  std::size_t element_index = 0;  ///< element within the record payload
+  Tag tag = Tag::Bytes;
+  std::string detail;             ///< human-readable description
+};
+
+struct CompareResult {
+  bool match = true;
+  /// Total diverging elements across all records (0 when match).
+  std::size_t mismatched_elements = 0;
+  /// Number of records compared (excluding options records).
+  std::size_t records_compared = 0;
+  /// Number of payload bytes actually compared (ignored scopes excluded).
+  std::size_t bytes_compared = 0;
+  /// First divergence, valid when !match.
+  Mismatch first;
+
+  explicit operator bool() const { return match; }
+};
+
+/// Default tolerances applied where the stream does not override them.
+struct CheckerConfig {
+  CompareOptions defaults;
+  /// Stop at the first mismatch (cheaper) instead of counting all.
+  bool stop_at_first = true;
+};
+
+/// Compare two checkpoint streams. A structural divergence (different tags,
+/// counts, or stream lengths) is itself a mismatch — the replicas' states
+/// have diverged even if no payload byte can be compared.
+///
+/// Throws StreamError only if a stream is malformed (truncated header),
+/// which indicates a framework bug or transport corruption rather than SDC.
+CompareResult compare_streams(std::span<const std::byte> local,
+                              std::span<const std::byte> remote,
+                              const CheckerConfig& config = {});
+
+inline CompareResult compare_checkpoints(const Checkpoint& local,
+                                         const Checkpoint& remote,
+                                         const CheckerConfig& config = {}) {
+  return compare_streams(local.bytes(), remote.bytes(), config);
+}
+
+}  // namespace acr::pup

@@ -1,0 +1,87 @@
+#include "pup/pup.h"
+
+namespace acr::pup {
+
+namespace {
+
+struct RecordHeader {
+  std::uint8_t tag;
+  std::uint64_t count;
+};
+
+constexpr std::size_t kHeaderSize = sizeof(std::uint8_t) + sizeof(std::uint64_t);
+
+}  // namespace
+
+const char* tag_name(Tag t) {
+  switch (t) {
+    case Tag::Bytes: return "bytes";
+    case Tag::I8: return "i8";
+    case Tag::U8: return "u8";
+    case Tag::I16: return "i16";
+    case Tag::U16: return "u16";
+    case Tag::I32: return "i32";
+    case Tag::U32: return "u32";
+    case Tag::I64: return "i64";
+    case Tag::U64: return "u64";
+    case Tag::F32: return "f32";
+    case Tag::F64: return "f64";
+    case Tag::Size: return "size";
+    case Tag::OptionsPush: return "options-push";
+    case Tag::OptionsPop: return "options-pop";
+  }
+  return "invalid";
+}
+
+void Sizer::record(Tag, void*, std::size_t count, std::size_t elem_size) {
+  size_ += kHeaderSize + count * elem_size;
+}
+
+void Packer::record(Tag tag, void* data, std::size_t count,
+                    std::size_t elem_size) {
+  std::size_t payload = count * elem_size;
+  std::size_t base = out_.size();
+  out_.resize(base + kHeaderSize + payload);
+  std::uint8_t t = static_cast<std::uint8_t>(tag);
+  std::uint64_t n = count;
+  std::memcpy(out_.data() + base, &t, sizeof t);
+  std::memcpy(out_.data() + base + sizeof t, &n, sizeof n);
+  if (payload > 0)
+    std::memcpy(out_.data() + base + kHeaderSize, data, payload);
+}
+
+void Unpacker::read(void* dst, std::size_t n) {
+  if (pos_ + n > in_.size())
+    throw StreamError("checkpoint stream truncated (need " +
+                      std::to_string(n) + " bytes at offset " +
+                      std::to_string(pos_) + ", stream has " +
+                      std::to_string(in_.size()) + ")");
+  std::memcpy(dst, in_.data() + pos_, n);
+  pos_ += n;
+}
+
+void Unpacker::record(Tag tag, void* data, std::size_t count,
+                      std::size_t elem_size) {
+  std::uint8_t t = 0;
+  std::uint64_t n = 0;
+  read(&t, sizeof t);
+  read(&n, sizeof n);
+  if (t != static_cast<std::uint8_t>(tag))
+    throw StreamError(std::string("record tag mismatch: stream has ") +
+                      tag_name(static_cast<Tag>(t)) + ", object expects " +
+                      tag_name(tag));
+  if (n != count)
+    throw StreamError("record count mismatch for " + std::string(tag_name(tag)) +
+                      ": stream has " + std::to_string(n) +
+                      ", object expects " + std::to_string(count));
+  std::size_t payload = count * elem_size;
+  if (tag == Tag::OptionsPush || tag == Tag::OptionsPop) {
+    // Options records still round-trip their payload so the packer/unpacker
+    // stay symmetric, but they carry comparison metadata, not object state.
+    if (payload > 0) read(data, payload);
+    return;
+  }
+  if (payload > 0) read(data, payload);
+}
+
+}  // namespace acr::pup

@@ -1,0 +1,132 @@
+// PUP adapters for additional standard containers.
+//
+// Associative containers with unordered iteration (unordered_map/set) are
+// serialized in SORTED key order: checkpoint streams must be canonical so
+// that buddy replicas — whose hash tables may have different bucket layouts
+// — produce bit-identical images (§2.1's comparability requirement).
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "pup/pup.h"
+
+namespace acr::pup {
+
+template <typename T>
+inline void pup_value(Puper& p, std::deque<T>& d) {
+  std::uint64_t n = d.size();
+  p.size_value(n);
+  if (p.is_unpacking()) d.resize(n);
+  for (auto& e : d) pup_value(p, e);
+}
+
+template <typename T>
+inline void pup_value(Puper& p, std::set<T>& s) {
+  std::uint64_t n = s.size();
+  p.size_value(n);
+  if (p.is_unpacking()) {
+    s.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      T v{};
+      pup_value(p, v);
+      s.insert(std::move(v));
+    }
+  } else {
+    for (const T& v : s) {
+      T copy = v;  // set elements are const; traverse a copy
+      pup_value(p, copy);
+    }
+  }
+}
+
+template <typename T>
+inline void pup_value(Puper& p, std::optional<T>& o) {
+  std::uint8_t has = o.has_value() ? 1 : 0;
+  p.value(has);
+  if (p.is_unpacking()) {
+    if (has) {
+      T v{};
+      pup_value(p, v);
+      o = std::move(v);
+    } else {
+      o.reset();
+    }
+  } else if (has) {
+    pup_value(p, *o);
+  }
+}
+
+namespace detail {
+template <typename Tuple, std::size_t... Is>
+void pup_tuple_impl(Puper& p, Tuple& t, std::index_sequence<Is...>) {
+  (pup_value(p, std::get<Is>(t)), ...);
+}
+}  // namespace detail
+
+template <typename... Ts>
+inline void pup_value(Puper& p, std::tuple<Ts...>& t) {
+  detail::pup_tuple_impl(p, t, std::index_sequence_for<Ts...>{});
+}
+
+template <typename K, typename V, typename H, typename E>
+inline void pup_value(Puper& p, std::unordered_map<K, V, H, E>& m) {
+  std::uint64_t n = m.size();
+  p.size_value(n);
+  if (p.is_unpacking()) {
+    m.clear();
+    m.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      K k{};
+      V v{};
+      pup_value(p, k);
+      pup_value(p, v);
+      m.emplace(std::move(k), std::move(v));
+    }
+    return;
+  }
+  // Canonical order: sort keys so replicas with different hash-table
+  // internals serialize identically.
+  std::vector<const K*> keys;
+  keys.reserve(m.size());
+  for (const auto& [k, v] : m) keys.push_back(&k);
+  std::sort(keys.begin(), keys.end(),
+            [](const K* a, const K* b) { return *a < *b; });
+  for (const K* k : keys) {
+    K key = *k;
+    pup_value(p, key);
+    pup_value(p, m.at(*k));
+  }
+}
+
+template <typename T, typename H, typename E>
+inline void pup_value(Puper& p, std::unordered_set<T, H, E>& s) {
+  std::uint64_t n = s.size();
+  p.size_value(n);
+  if (p.is_unpacking()) {
+    s.clear();
+    s.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      T v{};
+      pup_value(p, v);
+      s.insert(std::move(v));
+    }
+    return;
+  }
+  std::vector<const T*> items;
+  items.reserve(s.size());
+  for (const auto& v : s) items.push_back(&v);
+  std::sort(items.begin(), items.end(),
+            [](const T* a, const T* b) { return *a < *b; });
+  for (const T* v : items) {
+    T copy = *v;
+    pup_value(p, copy);
+  }
+}
+
+}  // namespace acr::pup

@@ -1,0 +1,142 @@
+#include "pup/storage.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "checksum/fletcher.h"
+#include "common/require.h"
+
+namespace acr::pup {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xAC0C4B9Du;
+constexpr std::uint32_t kVersion = 1;
+
+struct Header {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint64_t epoch;
+  std::uint64_t iteration;
+  std::uint64_t payload_bytes;
+};
+
+}  // namespace
+
+CheckpointVault::CheckpointVault(std::filesystem::path directory,
+                                 std::string prefix)
+    : directory_(std::move(directory)), prefix_(std::move(prefix)) {
+  ACR_REQUIRE(!prefix_.empty(), "vault prefix must be non-empty");
+  std::filesystem::create_directories(directory_);
+}
+
+std::filesystem::path CheckpointVault::path_for(std::uint64_t epoch) const {
+  return directory_ / (prefix_ + ".e" + std::to_string(epoch) + ".ckpt");
+}
+
+std::filesystem::path CheckpointVault::store(const StoredImage& ckpt) const {
+  Header h{kMagic, kVersion, ckpt.epoch, ckpt.iteration,
+           static_cast<std::uint64_t>(ckpt.image.size())};
+
+  checksum::Fletcher64 digest;
+  digest.append(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(&h), sizeof h));
+  digest.append(ckpt.image.bytes());
+  std::uint64_t trailer = digest.digest();
+
+  std::filesystem::path final_path = path_for(ckpt.epoch);
+  std::filesystem::path tmp_path = final_path;
+  tmp_path += ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    ACR_REQUIRE(out.good(), "cannot open checkpoint file for writing");
+    out.write(reinterpret_cast<const char*>(&h), sizeof h);
+    out.write(reinterpret_cast<const char*>(ckpt.image.bytes().data()),
+              static_cast<std::streamsize>(ckpt.image.size()));
+    out.write(reinterpret_cast<const char*>(&trailer), sizeof trailer);
+    ACR_REQUIRE(out.good(), "checkpoint write failed");
+  }
+  std::filesystem::rename(tmp_path, final_path);
+  return final_path;
+}
+
+std::optional<StoredImage> CheckpointVault::load(std::uint64_t epoch) const {
+  std::filesystem::path path = path_for(epoch);
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+
+  Header h{};
+  in.read(reinterpret_cast<char*>(&h), sizeof h);
+  if (!in.good() || h.magic != kMagic)
+    throw StreamError("checkpoint file " + path.string() +
+                      " has a bad header");
+  if (h.version != kVersion)
+    throw StreamError("checkpoint file " + path.string() +
+                      " has unsupported version " + std::to_string(h.version));
+
+  std::vector<std::byte> payload(static_cast<std::size_t>(h.payload_bytes));
+  in.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(payload.size()));
+  std::uint64_t trailer = 0;
+  in.read(reinterpret_cast<char*>(&trailer), sizeof trailer);
+  if (!in.good())
+    throw StreamError("checkpoint file " + path.string() + " is truncated");
+
+  checksum::Fletcher64 digest;
+  digest.append(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(&h), sizeof h));
+  digest.append(payload);
+  if (digest.digest() != trailer)
+    throw StreamError("checkpoint file " + path.string() +
+                      " failed its integrity check (on-disk corruption)");
+
+  StoredImage out;
+  out.epoch = h.epoch;
+  out.iteration = h.iteration;
+  out.image = Checkpoint(std::move(payload));
+  out.image.epoch = h.epoch;
+  return out;
+}
+
+std::vector<std::uint64_t> CheckpointVault::epochs_on_disk() const {
+  std::vector<std::uint64_t> epochs;
+  std::string head = prefix_ + ".e";
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind(head, 0) != 0) continue;
+    if (name.size() < head.size() + 6) continue;
+    if (name.substr(name.size() - 5) != ".ckpt") continue;
+    std::string digits = name.substr(head.size(),
+                                     name.size() - head.size() - 5);
+    try {
+      epochs.push_back(std::stoull(digits));
+    } catch (const std::exception&) {
+      continue;  // unrelated file
+    }
+  }
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+std::optional<StoredImage> CheckpointVault::load_latest() const {
+  std::vector<std::uint64_t> epochs = epochs_on_disk();
+  for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
+    try {
+      std::optional<StoredImage> img = load(*it);
+      if (img) return img;
+    } catch (const StreamError&) {
+      continue;  // corrupt file: fall back to the previous epoch
+    }
+  }
+  return std::nullopt;
+}
+
+void CheckpointVault::prune(std::uint64_t keep_from_epoch) const {
+  for (std::uint64_t epoch : epochs_on_disk())
+    if (epoch < keep_from_epoch)
+      std::filesystem::remove(path_for(epoch));
+}
+
+}  // namespace acr::pup

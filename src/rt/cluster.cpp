@@ -1,0 +1,214 @@
+#include "rt/cluster.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace acr::rt {
+
+const char* trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::JobStart: return "job-start";
+    case TraceKind::CheckpointRequested: return "checkpoint-requested";
+    case TraceKind::CheckpointIterationDecided: return "checkpoint-iteration";
+    case TraceKind::CheckpointPacked: return "checkpoint-packed";
+    case TraceKind::CheckpointCommitted: return "checkpoint-committed";
+    case TraceKind::SdcInjected: return "sdc-injected";
+    case TraceKind::SdcDetected: return "sdc-detected";
+    case TraceKind::HardFailureInjected: return "hard-failure-injected";
+    case TraceKind::HardFailureDetected: return "hard-failure-detected";
+    case TraceKind::RecoveryStarted: return "recovery-started";
+    case TraceKind::RecoveryCompleted: return "recovery-completed";
+    case TraceKind::Rollback: return "rollback";
+    case TraceKind::JobComplete: return "job-complete";
+  }
+  return "?";
+}
+
+void TraceLog::record(double time, TraceKind kind, int replica, int node_index,
+                      std::string detail) {
+  events_.push_back(TraceEvent{time, kind, replica, node_index,
+                               std::move(detail)});
+}
+
+std::size_t TraceLog::count(TraceKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [&](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+const TraceEvent* TraceLog::find_first(TraceKind kind, double t) const {
+  for (const auto& e : events_)
+    if (e.kind == kind && e.time >= t) return &e;
+  return nullptr;
+}
+
+Cluster::Cluster(Engine& engine, const ClusterConfig& config)
+    : engine_(engine), config_(config), jitter_rng_(config.seed, 77) {
+  ACR_REQUIRE(config.nodes_per_replica > 0, "need at least one node");
+  ACR_REQUIRE(config.spare_nodes >= 0, "spare count must be non-negative");
+}
+
+void Cluster::map_onto_torus(const topo::Torus3D& torus,
+                             topo::MappingScheme scheme, int mixed_chunk) {
+  topo::ReplicaMapping mapping(torus, scheme, mixed_chunk);
+  int max_dist = 0;
+  for (int i = 0; i < mapping.nodes_per_replica(); ++i)
+    max_dist = std::max(max_dist, mapping.buddy_distance(i));
+  config_.buddy_hops = max_dist;
+}
+
+void Cluster::populate() {
+  ACR_REQUIRE(nodes_.empty(), "populate() must be called once");
+  ACR_REQUIRE(factory_ != nullptr, "task factory must be set before populate");
+  int total = 2 * config_.nodes_per_replica + config_.spare_nodes;
+  nodes_.reserve(static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i)
+    nodes_.push_back(std::make_unique<Node>(*this, i));
+
+  role_table_.assign(2, std::vector<int>(
+                            static_cast<std::size_t>(config_.nodes_per_replica),
+                            -1));
+  int next = 0;
+  for (int r = 0; r < 2; ++r) {
+    for (int i = 0; i < config_.nodes_per_replica; ++i) {
+      Node& n = *nodes_[static_cast<std::size_t>(next)];
+      n.assign(r, i);
+      n.create_tasks();
+      role_table_[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)] =
+          next;
+      ++next;
+    }
+  }
+  for (int s = 0; s < config_.spare_nodes; ++s) spare_pool_.push_back(next++);
+}
+
+void Cluster::start_application() {
+  trace_.record(engine_.now(), TraceKind::JobStart);
+  for (int r = 0; r < 2; ++r)
+    for (int i = 0; i < config_.nodes_per_replica; ++i)
+      node_at(r, i).start_tasks();
+}
+
+Node& Cluster::node_at(int replica, int node_index) {
+  int pid = role_table_.at(static_cast<std::size_t>(replica))
+                .at(static_cast<std::size_t>(node_index));
+  ACR_REQUIRE(pid >= 0, "role is unmanned");
+  return *nodes_[static_cast<std::size_t>(pid)];
+}
+
+bool Cluster::role_alive(int replica, int node_index) {
+  int pid = role_table_.at(static_cast<std::size_t>(replica))
+                .at(static_cast<std::size_t>(node_index));
+  return pid >= 0 && nodes_[static_cast<std::size_t>(pid)]->alive();
+}
+
+int Cluster::spares_remaining() const {
+  return static_cast<int>(spare_pool_.size());
+}
+
+double Cluster::app_latency(std::size_t bytes, Pcg32& jitter_rng) {
+  double base = config_.app_alpha +
+                static_cast<double>(bytes) * config_.app_byte_time;
+  return base * (1.0 + config_.app_jitter * jitter_rng.uniform());
+}
+
+double Cluster::service_latency(bool inter_replica, double bytes) {
+  int hops = inter_replica ? config_.buddy_hops : 2;
+  return config_.net.alpha * hops + bytes * config_.net.beta();
+}
+
+void Cluster::send_task(int replica, TaskAddr src, TaskAddr dst, int tag,
+                        std::vector<std::byte> payload) {
+  Message m;
+  m.tag = tag;
+  m.src_replica = m.dst_replica = replica;
+  m.src = src;
+  m.dst = dst;
+  m.app_epoch = app_epoch_.at(static_cast<std::size_t>(replica));
+  m.payload = std::move(payload);
+  double lat = app_latency(m.size_bytes(), jitter_rng_);
+  ++in_flight_.at(static_cast<std::size_t>(replica));
+  engine_.schedule_after(lat, [this, m = std::move(m)]() mutable {
+    --in_flight_.at(static_cast<std::size_t>(m.dst_replica));
+    // Traffic from an abandoned timeline (pre-rollback) is dropped.
+    if (m.app_epoch != app_epoch_.at(static_cast<std::size_t>(m.dst_replica)))
+      return;
+    int pid = role_table_[static_cast<std::size_t>(m.dst_replica)]
+                         [static_cast<std::size_t>(m.dst.node_index)];
+    if (pid < 0) return;  // role unmanned: message disappears
+    nodes_[static_cast<std::size_t>(pid)]->deliver(m);
+  });
+}
+
+void Cluster::send_service(int src_replica, int src_node, int dst_replica,
+                           int dst_node, int tag,
+                           std::vector<std::byte> payload,
+                           double bytes_on_wire) {
+  Message m;
+  m.tag = tag;
+  m.src_replica = src_replica;
+  m.dst_replica = dst_replica;
+  m.src = TaskAddr{src_node, kServiceSlot};
+  m.dst = TaskAddr{dst_node, kServiceSlot};
+  m.payload = std::move(payload);
+  double wire = bytes_on_wire >= 0.0 ? bytes_on_wire
+                                     : static_cast<double>(m.size_bytes());
+  double lat = service_latency(src_replica != dst_replica, wire);
+  engine_.schedule_after(lat, [this, m = std::move(m)]() mutable {
+    int pid = role_table_[static_cast<std::size_t>(m.dst_replica)]
+                         [static_cast<std::size_t>(m.dst.node_index)];
+    if (pid < 0) return;
+    nodes_[static_cast<std::size_t>(pid)]->deliver(m);
+  });
+}
+
+void Cluster::send_to_manager(int src_replica, int src_node, int tag,
+                              std::vector<std::byte> payload) {
+  ACR_REQUIRE(manager_hook_ != nullptr, "no manager installed");
+  Message m;
+  m.tag = tag;
+  m.src_replica = src_replica;
+  m.dst_replica = -1;
+  m.src = TaskAddr{src_node, kServiceSlot};
+  m.dst = TaskAddr{-1, kServiceSlot};
+  m.payload = std::move(payload);
+  double lat = service_latency(false, static_cast<double>(m.size_bytes()));
+  engine_.schedule_after(lat,
+                         [this, m = std::move(m)]() { manager_hook_(m); });
+}
+
+void Cluster::send_from_manager(int dst_replica, int dst_node, int tag,
+                                std::vector<std::byte> payload,
+                                double bytes_on_wire) {
+  send_service(-1, -1, dst_replica, dst_node, tag, std::move(payload),
+               bytes_on_wire);
+}
+
+void Cluster::kill_role(int replica, int node_index) {
+  int pid = role_table_.at(static_cast<std::size_t>(replica))
+                .at(static_cast<std::size_t>(node_index));
+  if (pid < 0) return;
+  nodes_[static_cast<std::size_t>(pid)]->kill();
+}
+
+Node* Cluster::promote_spare(int replica, int node_index) {
+  if (spare_pool_.empty()) return nullptr;
+  int pid = spare_pool_.back();
+  spare_pool_.pop_back();
+  int old = role_table_.at(static_cast<std::size_t>(replica))
+                .at(static_cast<std::size_t>(node_index));
+  if (old >= 0) nodes_[static_cast<std::size_t>(old)]->assign(-1, -1);
+  Node& n = *nodes_[static_cast<std::size_t>(pid)];
+  n.assign(replica, node_index);
+  role_table_[static_cast<std::size_t>(replica)]
+             [static_cast<std::size_t>(node_index)] = pid;
+  n.create_tasks();  // fresh tasks; state arrives from the buddy checkpoint
+  return &n;
+}
+
+Pcg32 Cluster::make_rng(std::uint64_t salt) const {
+  return Pcg32(config_.seed ^ salt, salt | 1);
+}
+
+}  // namespace acr::rt

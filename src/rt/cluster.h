@@ -1,0 +1,205 @@
+// Virtual cluster: two replicas of logical nodes plus a spare pool, a
+// latency model, and delivery/fail-over machinery, all over one virtual
+// clock. This is the stand-in for the Charm++-on-BG/P substrate of the
+// paper: protocols and application code are real, the wires are simulated.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/link_load.h"
+#include "rt/engine.h"
+#include "rt/message.h"
+#include "rt/node.h"
+#include "topology/mapping.h"
+
+namespace acr::rt {
+
+// ---------------------------------------------------------------------------
+// Trace of protocol-level events (drives Fig. 12 and the integration tests).
+// ---------------------------------------------------------------------------
+
+enum class TraceKind {
+  JobStart,
+  CheckpointRequested,
+  CheckpointIterationDecided,
+  CheckpointPacked,
+  CheckpointCommitted,
+  SdcInjected,
+  SdcDetected,
+  HardFailureInjected,
+  HardFailureDetected,
+  RecoveryStarted,
+  RecoveryCompleted,
+  Rollback,
+  JobComplete,
+};
+
+const char* trace_kind_name(TraceKind k);
+
+struct TraceEvent {
+  double time = 0.0;
+  TraceKind kind{};
+  int replica = -1;
+  int node_index = -1;
+  std::string detail;
+};
+
+class TraceLog {
+ public:
+  void record(double time, TraceKind kind, int replica = -1,
+              int node_index = -1, std::string detail = "");
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t count(TraceKind kind) const;
+  /// First event of `kind` at or after `t`, or nullptr.
+  const TraceEvent* find_first(TraceKind kind, double t = 0.0) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+// ---------------------------------------------------------------------------
+// Cluster configuration.
+// ---------------------------------------------------------------------------
+
+struct ClusterConfig {
+  int nodes_per_replica = 4;
+  int spare_nodes = 1;
+
+  /// Intra-replica app message latency: alpha + bytes * beta, plus a
+  /// uniform jitter fraction that desynchronizes task progress (exercising
+  /// the checkpoint consensus).
+  double app_alpha = 20e-6;
+  double app_byte_time = 1.0 / 1.0e9;
+  double app_jitter = 0.10;
+
+  /// Inter-replica (buddy) hop count; derived from the mapping scheme when
+  /// a torus shape is supplied to map_onto_torus(), otherwise this default.
+  int buddy_hops = 4;
+
+  /// Machine cost parameters for checkpoint pack/compare/transfer.
+  net::NetworkParams net;
+
+  std::uint64_t seed = 0xAC0FF00DULL;
+};
+
+class Cluster {
+ public:
+  using TaskFactory = std::function<std::vector<std::unique_ptr<Task>>(
+      int replica, int node_index)>;
+
+  Cluster(Engine& engine, const ClusterConfig& config);
+
+  Engine& engine() { return engine_; }
+  const ClusterConfig& config() const { return config_; }
+  TraceLog& trace() { return trace_; }
+
+  /// Derive buddy_hops from a torus shape + mapping scheme (§4.2): the
+  /// maximum buddy distance of the mapping becomes the inter-replica hop
+  /// count used in the latency model.
+  void map_onto_torus(const topo::Torus3D& torus, topo::MappingScheme scheme,
+                      int mixed_chunk = 2);
+
+  // --- setup -----------------------------------------------------------------
+  void set_task_factory(TaskFactory factory) { factory_ = std::move(factory); }
+  const TaskFactory& task_factory() const { return factory_; }
+  /// Create all nodes and their tasks (both replicas + spares).
+  void populate();
+  /// Fire on_start for every task at the current virtual time.
+  void start_application();
+
+  // --- topology / lookup ------------------------------------------------------
+  int nodes_per_replica() const { return config_.nodes_per_replica; }
+  /// Physical node currently playing (replica, node_index).
+  Node& node_at(int replica, int node_index);
+  bool role_alive(int replica, int node_index);
+  Node& physical_node(int physical_id) {
+    return *nodes_.at(static_cast<std::size_t>(physical_id));
+  }
+  int num_physical_nodes() const { return static_cast<int>(nodes_.size()); }
+  int spares_remaining() const;
+
+  // --- messaging ---------------------------------------------------------------
+  /// Task-to-task within a replica.
+  void send_task(int replica, TaskAddr src, TaskAddr dst, int tag,
+                 std::vector<std::byte> payload);
+  /// Node-service message (possibly across replicas). `bytes_on_wire`
+  /// overrides the payload size for latency purposes — used when a
+  /// checkpoint "transfer" is modelled without copying the actual bytes
+  /// (checksum mode still pays only digest bytes, full mode pays the full
+  /// checkpoint size).
+  void send_service(int src_replica, int src_node, int dst_replica,
+                    int dst_node, int tag, std::vector<std::byte> payload,
+                    double bytes_on_wire = -1.0);
+
+  /// Outstanding app (task-level) messages for a replica — the drain
+  /// condition of checkpoint Phase 4.
+  int in_flight_app_messages(int replica) const {
+    return in_flight_.at(static_cast<std::size_t>(replica));
+  }
+
+  /// App-message epoch of a replica. Every task message is stamped with the
+  /// sender replica's epoch; delivery drops messages from a previous epoch.
+  /// ACR bumps the epoch whenever the replica's state jumps (rollback or
+  /// recovery restore), so in-flight traffic from the abandoned timeline
+  /// cannot leak into the restored one. (This is the runtime-level analogue
+  /// of Charm++/FTC's checkpoint phase numbers.)
+  std::uint64_t app_epoch(int replica) const {
+    return app_epoch_.at(static_cast<std::size_t>(replica));
+  }
+  void bump_app_epoch(int replica) {
+    ++app_epoch_.at(static_cast<std::size_t>(replica));
+  }
+
+  // --- failure / recovery ------------------------------------------------------
+  /// Fail-stop the node currently playing (replica, node_index).
+  void kill_role(int replica, int node_index);
+  /// Promote a spare to (replica, node_index). Creates fresh (empty) tasks.
+  /// Returns the new physical node, or nullptr if the pool is exhausted.
+  Node* promote_spare(int replica, int node_index);
+
+  // --- manager channel -----------------------------------------------------------
+  // The job-level ACR manager (failure handling, checkpoint timing) is a
+  // logically centralized service (think: the replica-root node plus the
+  // scheduler's RAS daemon). It exchanges messages with node agents through
+  // the same latency model; src_replica = -1 marks manager-originated mail.
+  using ManagerHook = std::function<void(const Message&)>;
+  void set_manager_hook(ManagerHook hook) { manager_hook_ = std::move(hook); }
+  /// Node agent -> manager.
+  void send_to_manager(int src_replica, int src_node, int tag,
+                       std::vector<std::byte> payload);
+  /// Manager -> node agent.
+  void send_from_manager(int dst_replica, int dst_node, int tag,
+                         std::vector<std::byte> payload,
+                         double bytes_on_wire = -1.0);
+
+  // --- misc ---------------------------------------------------------------------
+  Pcg32 make_rng(std::uint64_t salt) const;
+  double app_latency(std::size_t bytes, Pcg32& jitter_rng);
+  double service_latency(bool inter_replica, double bytes);
+  std::uint64_t master_seed() const { return config_.seed; }
+
+ private:
+  friend class Node;
+  friend class NodeTaskContext;
+
+  Engine& engine_;
+  ClusterConfig config_;
+  TraceLog trace_;
+  TaskFactory factory_;
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  /// role_table_[replica][node_index] -> physical id (-1 when unmanned).
+  std::vector<std::vector<int>> role_table_;
+  std::vector<int> spare_pool_;  ///< physical ids of unused spares
+  std::vector<int> in_flight_{0, 0};
+  std::vector<std::uint64_t> app_epoch_{0, 0};
+  Pcg32 jitter_rng_;
+  ManagerHook manager_hook_;
+};
+
+}  // namespace acr::rt

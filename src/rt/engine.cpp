@@ -1,0 +1,54 @@
+#include "rt/engine.h"
+
+namespace acr::rt {
+
+Engine::EventId Engine::schedule_at(double time, Handler fn) {
+  ACR_REQUIRE(time >= now_, "cannot schedule in the past");
+  EventId id = next_id_++;
+  queue_.push(Event{time, id, std::move(fn)});
+  return id;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; copy the handler out before popping.
+    Event ev = queue_.top();
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+std::size_t Engine::run_until(double t) {
+  ACR_REQUIRE(t >= now_, "cannot run backwards");
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    // Drop cancelled events first so queue_.top() is a live event and step()
+    // cannot skip past `t` to a later one.
+    auto it = cancelled_.find(queue_.top().id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().time > t) break;
+    if (step()) ++fired;
+  }
+  now_ = t;
+  return fired;
+}
+
+}  // namespace acr::rt

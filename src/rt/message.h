@@ -1,0 +1,68 @@
+// Message type of the tasklet runtime.
+//
+// Addressing is *logical*: (replica, node_index, slot). The cluster
+// resolves a logical node index to whatever physical node currently plays
+// that role, so a spare node that replaced a crashed one transparently
+// receives its traffic — exactly the fail-over model of §2.1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/require.h"
+#include "pup/pup.h"
+
+namespace acr::rt {
+
+/// Slot value addressing the per-node ACR service agent instead of a task.
+constexpr int kServiceSlot = -1;
+
+struct TaskAddr {
+  int node_index = 0;  ///< logical node within the replica
+  int slot = 0;        ///< task slot on that node, or kServiceSlot
+
+  friend bool operator==(const TaskAddr&, const TaskAddr&) = default;
+};
+
+struct Message {
+  int tag = 0;
+  int src_replica = 0;
+  int dst_replica = 0;
+  TaskAddr src{};
+  TaskAddr dst{};
+  /// Sender replica's app epoch at send time (task messages only); stale
+  /// epochs are dropped at delivery after a rollback.
+  std::uint64_t app_epoch = 0;
+  std::vector<std::byte> payload;
+
+  std::size_t size_bytes() const { return payload.size() + 64; }
+};
+
+/// Encode a pup-able value as a message payload.
+template <typename T>
+std::vector<std::byte> pack_payload(T& value) {
+  pup::Packer p;
+  p | value;
+  pup::Checkpoint c = p.take();
+  return std::vector<std::byte>(c.bytes().begin(), c.bytes().end());
+}
+
+/// Decode a payload produced by pack_payload.
+template <typename T>
+T unpack_payload(std::span<const std::byte> payload) {
+  T value{};
+  pup::Unpacker u(payload);
+  u | value;
+  ACR_REQUIRE(u.exhausted(), "payload has trailing bytes");
+  return value;
+}
+
+template <typename T>
+T unpack_payload(const Message& m) {
+  return unpack_payload<T>(std::span<const std::byte>(m.payload));
+}
+
+}  // namespace acr::rt

@@ -1,0 +1,171 @@
+#include "sim/lifetime.h"
+
+#include <algorithm>
+
+#include "common/require.h"
+#include "common/rng.h"
+#include "failure/distributions.h"
+
+namespace acr::sim {
+
+namespace {
+
+struct Trial {
+  // Wall clock and useful-work position.
+  double t = 0.0;
+  double done = 0.0;
+  double verified = 0.0;  ///< work position of the last verified checkpoint
+  bool latent_sdc[2] = {false, false};
+  bool weak_pending = false;
+  bool permanent_sdc = false;
+  // Tally.
+  double ckpt_time = 0.0;
+  double rework_time = 0.0;
+  double restart_time = 0.0;
+  int hard_failures = 0;
+  int sdc_detected = 0;
+};
+
+}  // namespace
+
+LifetimeResult simulate_lifetime(const LifetimeConfig& cfg) {
+  ACR_REQUIRE(cfg.trials > 0, "need at least one trial");
+  ACR_REQUIRE(cfg.tau > 0.0 && cfg.work > 0.0, "bad lifetime parameters");
+
+  failure::Exponential hard_gap(cfg.hard_mtbf);
+  failure::Exponential sdc_gap(cfg.sdc_mtbf);
+  Pcg32 rng(cfg.seed, 0x11fe);
+
+  LifetimeResult out;
+  int trials_with_permanent = 0;
+
+  for (int trial = 0; trial < cfg.trials; ++trial) {
+    Trial s;
+    double next_ckpt = cfg.tau;
+    double next_hard = hard_gap.sample(rng);
+    double next_sdc = sdc_gap.sample(rng);
+
+    auto overhead = [&](double dt) { s.t += dt; };
+
+    auto do_rollback_to_verified = [&](double restart_cost) {
+      s.rework_time += s.done - s.verified;
+      // The rework is recomputed in real time: the wall clock advances by
+      // the lost work plus the restart cost, the work position rewinds.
+      // The job's net work position is unchanged: the laggard recomputes
+      // while the healthy replica idles at the next synchronization point.
+      overhead((s.done - s.verified) + restart_cost);
+      s.restart_time += restart_cost;
+      s.latent_sdc[0] = s.latent_sdc[1] = false;  // corrupted span recomputed
+    };
+
+    auto do_checkpoint = [&](bool compare) {
+      overhead(cfg.checkpoint_cost);
+      s.ckpt_time += cfg.checkpoint_cost;
+      if (compare && (s.latent_sdc[0] || s.latent_sdc[1])) {
+        // Mismatch: both replicas roll back to the verified image.
+        ++s.sdc_detected;
+        s.restart_time += cfg.restart_sdc;
+        s.rework_time += s.done - s.verified;
+        overhead(cfg.restart_sdc + (s.done - s.verified));
+        s.done = s.verified;
+        s.latent_sdc[0] = s.latent_sdc[1] = false;
+        return;
+      }
+      if (!compare) {
+        // Recovery checkpoint (medium/weak): corruption in the healthy
+        // replica is copied to both sides and becomes undetectable.
+        if (s.latent_sdc[0] || s.latent_sdc[1]) s.permanent_sdc = true;
+        s.latent_sdc[0] = s.latent_sdc[1] = false;
+      }
+      s.verified = s.done;
+    };
+
+    while (s.done < cfg.work) {
+      double finish_at = s.t + (cfg.work - s.done);
+      double next_event = std::min({finish_at, next_ckpt, next_hard, next_sdc});
+      // Forward progress up to the event.
+      s.done += next_event - s.t;
+      s.t = next_event;
+      if (s.t == finish_at && s.t < std::min({next_ckpt, next_hard, next_sdc}))
+        break;
+
+      if (next_event == next_sdc) {
+        int replica = static_cast<int>(rng.bounded(2));
+        s.latent_sdc[replica] = true;
+        next_sdc = s.t + sdc_gap.sample(rng);
+        continue;
+      }
+
+      if (next_event == next_hard) {
+        ++s.hard_failures;
+        int crashed = static_cast<int>(rng.bounded(2));
+        next_hard = s.t + hard_gap.sample(rng);
+        switch (cfg.scheme) {
+          case model::Scheme::Strong:
+            // Crashed replica recomputes from the verified checkpoint; the
+            // healthy one waits at the next synchronization point. Its own
+            // latent corruption (if any) is caught at the next compare;
+            // the crashed side's corrupt span is recomputed cleanly.
+            s.latent_sdc[crashed] = false;
+            do_rollback_to_verified(cfg.restart_hard);
+            break;
+          case model::Scheme::Medium: {
+            // Healthy replica checkpoints immediately and ships it.
+            s.latent_sdc[crashed] = false;
+            s.restart_time += cfg.restart_hard;
+            overhead(cfg.restart_hard);
+            do_checkpoint(/*compare=*/false);
+            next_ckpt = s.t + cfg.tau;
+            break;
+          }
+          case model::Scheme::Weak:
+            if (s.weak_pending) {
+              // Second failure within the window: fall back to the
+              // verified checkpoint (the paper's rollback caveat).
+              s.weak_pending = false;
+              do_rollback_to_verified(cfg.restart_hard);
+            } else {
+              s.latent_sdc[crashed] = false;
+              s.weak_pending = true;  // recover at the next periodic ckpt
+            }
+            break;
+        }
+        continue;
+      }
+
+      if (next_event == next_ckpt) {
+        if (s.weak_pending) {
+          s.weak_pending = false;
+          s.restart_time += cfg.restart_hard;
+          overhead(cfg.restart_hard);
+          do_checkpoint(/*compare=*/false);
+        } else {
+          do_checkpoint(/*compare=*/true);
+        }
+        next_ckpt = s.t + cfg.tau;
+        continue;
+      }
+    }
+
+    out.mean_total_time += s.t;
+    out.mean_checkpoint_time += s.ckpt_time;
+    out.mean_rework_time += s.rework_time;
+    out.mean_restart_time += s.restart_time;
+    out.mean_hard_failures += s.hard_failures;
+    out.mean_sdc_detected += s.sdc_detected;
+    if (s.permanent_sdc) ++trials_with_permanent;
+  }
+
+  double n = static_cast<double>(cfg.trials);
+  out.mean_total_time /= n;
+  out.mean_checkpoint_time /= n;
+  out.mean_rework_time /= n;
+  out.mean_restart_time /= n;
+  out.mean_hard_failures /= n;
+  out.mean_sdc_detected /= n;
+  out.mean_overhead_fraction = (out.mean_total_time - cfg.work) / cfg.work;
+  out.prob_undetected_sdc = trials_with_permanent / n;
+  return out;
+}
+
+}  // namespace acr::sim

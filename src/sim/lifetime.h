@@ -1,0 +1,45 @@
+// Monte-Carlo lifetime simulator (Figs. 9 and 11, and a stochastic
+// cross-check of the §5 closed-form model).
+//
+// Plays a whole job — useful work, periodic checkpoints, Poisson hard
+// failures and SDC strikes — against the semantics of one resilience
+// scheme, tracking forward-path overhead, rework, recovery costs, and
+// whether any silent corruption slipped through an unprotected window into
+// the committed state.
+#pragma once
+
+#include <cstdint>
+
+#include "model/acr_model.h"
+
+namespace acr::sim {
+
+struct LifetimeConfig {
+  double work = 3600.0;             ///< useful seconds required
+  double tau = 100.0;               ///< checkpoint period
+  double checkpoint_cost = 1.0;     ///< delta (from the phase model)
+  double restart_hard = 1.0;        ///< hard-error restart cost
+  double restart_sdc = 0.5;         ///< SDC rollback restart cost
+  model::Scheme scheme = model::Scheme::Strong;
+  double hard_mtbf = 1e5;           ///< system (both replicas)
+  double sdc_mtbf = 1e6;            ///< detectable-SDC events (both replicas)
+  std::uint64_t seed = 1;
+  int trials = 200;
+};
+
+struct LifetimeResult {
+  double mean_total_time = 0.0;
+  double mean_overhead_fraction = 0.0;  ///< (T - W) / W
+  double mean_checkpoint_time = 0.0;
+  double mean_rework_time = 0.0;
+  double mean_restart_time = 0.0;
+  double mean_hard_failures = 0.0;
+  double mean_sdc_detected = 0.0;
+  /// Fraction of trials in which at least one SDC became permanent
+  /// (entered the committed state through an unprotected window).
+  double prob_undetected_sdc = 0.0;
+};
+
+LifetimeResult simulate_lifetime(const LifetimeConfig& config);
+
+}  // namespace acr::sim

@@ -1,0 +1,107 @@
+#include "sim/phase_model.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace acr::sim {
+
+const char* detection_mode_name(DetectionMode m) {
+  switch (m) {
+    case DetectionMode::FullDefault: return "default";
+    case DetectionMode::FullMixed: return "mixed";
+    case DetectionMode::FullColumn: return "column";
+    case DetectionMode::Checksum: return "checksum";
+  }
+  return "?";
+}
+
+PhaseModel::PhaseModel(int nodes_per_replica, const apps::MiniAppSpec& app,
+                       PhaseModelParams params)
+    : nodes_(nodes_per_replica),
+      app_(app),
+      params_(params),
+      bytes_per_node_(apps::checkpoint_bytes_per_node(app)),
+      torus_(topo::bgp_partition(2 * nodes_per_replica)) {
+  ACR_REQUIRE(nodes_per_replica > 0, "need at least one node per replica");
+}
+
+double PhaseModel::transfer_time(topo::MappingScheme mapping,
+                                 double bytes) const {
+  topo::ReplicaMapping rm(torus_, mapping, params_.mixed_chunk);
+  net::LinkLoadModel loads(torus_);
+  loads.add_traffic(rm.buddy_pairs(), bytes);
+  return loads.phase_time(params_.net);
+}
+
+double PhaseModel::barrier_cost() const {
+  int stages = std::bit_width(static_cast<unsigned>(nodes_)) - 1;
+  return params_.restart_barrier_base +
+         params_.restart_barrier_per_stage * stages;
+}
+
+CheckpointPhases PhaseModel::checkpoint_phases(DetectionMode mode) const {
+  CheckpointPhases p;
+  double serialize_rate = params_.net.pack_bandwidth / app_.serialization_complexity;
+  p.local_checkpoint = bytes_per_node_ / serialize_rate;
+  switch (mode) {
+    // Full comparison walks the self-describing stream record by record, so
+    // its rate degrades with the app's structural complexity (many tiny
+    // records for the MD apps); the checksum streams the packed buffer
+    // linearly and does not.
+    case DetectionMode::FullDefault:
+      p.transfer = transfer_time(topo::MappingScheme::Default, bytes_per_node_);
+      p.comparison = bytes_per_node_ * app_.serialization_complexity /
+                     params_.net.compare_bandwidth;
+      break;
+    case DetectionMode::FullMixed:
+      p.transfer = transfer_time(topo::MappingScheme::Mixed, bytes_per_node_);
+      p.comparison = bytes_per_node_ * app_.serialization_complexity /
+                     params_.net.compare_bandwidth;
+      break;
+    case DetectionMode::FullColumn:
+      p.transfer = transfer_time(topo::MappingScheme::Column, bytes_per_node_);
+      p.comparison = bytes_per_node_ * app_.serialization_complexity /
+                     params_.net.compare_bandwidth;
+      break;
+    case DetectionMode::Checksum:
+      // Digest travels instead of the checkpoint; computing it costs ~4
+      // instructions per byte on both replicas (charged once per node).
+      p.transfer = transfer_time(topo::MappingScheme::Default, 32.0);
+      p.comparison = bytes_per_node_ * 4.0 * params_.net.gamma;
+      break;
+  }
+  return p;
+}
+
+RestartPhases PhaseModel::restart_strong() const {
+  RestartPhases r;
+  // One buddy ships its verified checkpoint to the one fresh node: a single
+  // point-to-point message, no contention, mapping-independent.
+  topo::ReplicaMapping rm(torus_, topo::MappingScheme::Default);
+  int hops = rm.buddy_distance(0);
+  r.transfer = params_.net.alpha * hops + bytes_per_node_ * params_.net.beta();
+  double rate = params_.net.unpack_bandwidth / app_.serialization_complexity;
+  r.reconstruction = bytes_per_node_ / rate + barrier_cost();
+  return r;
+}
+
+RestartPhases PhaseModel::restart_medium(topo::MappingScheme mapping) const {
+  RestartPhases r;
+  // Every healthy node ships the fresh checkpoint to its buddy at once:
+  // same congestion picture as the checkpoint transfer phase.
+  r.transfer = transfer_time(mapping, bytes_per_node_);
+  double rate = params_.net.unpack_bandwidth / app_.serialization_complexity;
+  r.reconstruction = bytes_per_node_ / rate + barrier_cost();
+  return r;
+}
+
+RestartPhases PhaseModel::restart_sdc() const {
+  RestartPhases r;
+  double rate = params_.net.unpack_bandwidth / app_.serialization_complexity;
+  r.reconstruction = bytes_per_node_ / rate + barrier_cost();
+  return r;
+}
+
+}  // namespace acr::sim

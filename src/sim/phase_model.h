@@ -1,0 +1,91 @@
+// Large-scale checkpoint/restart phase model (Figs. 8 and 10).
+//
+// At 1K-64K cores per replica we cannot instantiate live application state,
+// but the phase costs the paper measures decompose cleanly:
+//   local checkpoint — serialize app state at the node's pack rate, scaled
+//                      by the app's serialization complexity (LULESH's rich
+//                      structures, the MD apps' scattered atoms);
+//   transfer         — every replica-0 node ships its checkpoint (or an
+//                      8-byte digest) to its buddy; the completion time is
+//                      governed by contention on the torus links, computed
+//                      exactly by the net::LinkLoadModel over the chosen
+//                      replica mapping;
+//   comparison       — stream-compare at memory bandwidth (full mode) or
+//                      recompute the Fletcher digest at ~4 instr/byte
+//                      (checksum mode, both replicas);
+//   reconstruction   — deserialize + rebuild at restart, plus the restart
+//                      barrier/broadcast ladder the paper observes for
+//                      small-footprint apps (Fig. 10c).
+#pragma once
+
+#include <string>
+
+#include "apps/table2.h"
+#include "net/link_load.h"
+#include "topology/mapping.h"
+
+namespace acr::sim {
+
+enum class DetectionMode { FullDefault, FullMixed, FullColumn, Checksum };
+
+const char* detection_mode_name(DetectionMode m);
+
+/// Fig. 8 bar decomposition.
+struct CheckpointPhases {
+  double local_checkpoint = 0.0;
+  double transfer = 0.0;
+  double comparison = 0.0;
+  double total() const { return local_checkpoint + transfer + comparison; }
+};
+
+/// Fig. 10 bar decomposition.
+struct RestartPhases {
+  double transfer = 0.0;
+  double reconstruction = 0.0;
+  double total() const { return transfer + reconstruction; }
+};
+
+struct PhaseModelParams {
+  net::NetworkParams net;
+  /// Restart synchronization: base cost plus a per-tree-stage term for the
+  /// barriers/broadcasts of an unexpected restart (§6.3).
+  double restart_barrier_base = 5e-3;
+  double restart_barrier_per_stage = 2.5e-3;
+  int mixed_chunk = 2;
+};
+
+class PhaseModel {
+ public:
+  /// `nodes_per_replica` physical nodes per replica; the machine torus has
+  /// 2x that (BG/P partition shapes from topo::bgp_partition).
+  PhaseModel(int nodes_per_replica, const apps::MiniAppSpec& app,
+             PhaseModelParams params = {});
+
+  /// One coordinated checkpoint (forward path), Fig. 8.
+  CheckpointPhases checkpoint_phases(DetectionMode mode) const;
+
+  /// Restart after a hard error, Fig. 10. Strong resilience ships one
+  /// checkpoint point-to-point; medium/weak ship all buddies at once and
+  /// feel the mapping.
+  RestartPhases restart_strong() const;
+  RestartPhases restart_medium(topo::MappingScheme mapping) const;
+
+  /// Restart after a detected SDC: local rollback only (reconstruction).
+  RestartPhases restart_sdc() const;
+
+  double checkpoint_bytes_per_node() const { return bytes_per_node_; }
+  int nodes_per_replica() const { return nodes_; }
+  const topo::Torus3D& torus() const { return torus_; }
+
+ private:
+  double transfer_time(topo::MappingScheme mapping, double bytes) const;
+  double barrier_cost() const;
+
+  int nodes_;
+  apps::MiniAppSpec app_;
+  PhaseModelParams params_;
+  double bytes_per_node_;
+  topo::Torus3D torus_;
+};
+
+}  // namespace acr::sim

@@ -1,0 +1,107 @@
+#include "topology/mapping.h"
+
+namespace acr::topo {
+
+const char* scheme_name(MappingScheme s) {
+  switch (s) {
+    case MappingScheme::Default: return "default";
+    case MappingScheme::Column: return "column";
+    case MappingScheme::Mixed: return "mixed";
+  }
+  return "?";
+}
+
+ReplicaMapping::ReplicaMapping(const Torus3D& torus, MappingScheme scheme,
+                               int mixed_chunk)
+    : torus_(torus), scheme_(scheme), chunk_(mixed_chunk) {
+  ACR_REQUIRE(torus_.num_nodes() % 2 == 0, "torus must split into two halves");
+  switch (scheme_) {
+    case MappingScheme::Default:
+      ACR_REQUIRE(torus_.dim_z() % 2 == 0,
+                  "default mapping needs an even Z so the rank split falls on "
+                  "a plane boundary");
+      break;
+    case MappingScheme::Column:
+      ACR_REQUIRE(torus_.dim_z() % 2 == 0,
+                  "column mapping alternates Z planes; Z must be even");
+      break;
+    case MappingScheme::Mixed:
+      ACR_REQUIRE(chunk_ > 0, "mixed chunk must be positive");
+      ACR_REQUIRE(torus_.dim_z() % (2 * chunk_) == 0,
+                  "mixed mapping needs Z divisible by 2*chunk");
+      break;
+  }
+}
+
+Coord ReplicaMapping::node_coord(int replica, int index) const {
+  ACR_REQUIRE(replica == 0 || replica == 1, "replica must be 0 or 1");
+  ACR_REQUIRE(index >= 0 && index < nodes_per_replica(),
+              "replica node index out of range");
+  const int dx = torus_.dim_x(), dy = torus_.dim_y();
+  const int plane = dx * dy;  // nodes per Z plane
+  int local_plane = index / plane;
+  int within = index % plane;
+  Coord c;
+  c.x = within % dx;
+  c.y = within / dx;
+  switch (scheme_) {
+    case MappingScheme::Default:
+      // Replica 0 owns planes [0, Z/2), replica 1 owns [Z/2, Z).
+      c.z = local_plane + replica * (torus_.dim_z() / 2);
+      break;
+    case MappingScheme::Column:
+      // Plane 2k -> replica 0, plane 2k+1 -> replica 1.
+      c.z = 2 * local_plane + replica;
+      break;
+    case MappingScheme::Mixed: {
+      // Chunks of `chunk_` planes alternate between replicas.
+      int chunk_index = local_plane / chunk_;
+      int in_chunk = local_plane % chunk_;
+      c.z = chunk_index * 2 * chunk_ + replica * chunk_ + in_chunk;
+      break;
+    }
+  }
+  return c;
+}
+
+ReplicaMapping::Placement ReplicaMapping::placement_of(int rank) const {
+  Coord c = torus_.coord_of(rank);
+  const int dx = torus_.dim_x(), dy = torus_.dim_y();
+  const int plane = dx * dy;
+  int replica = 0;
+  int local_plane = 0;
+  switch (scheme_) {
+    case MappingScheme::Default: {
+      int half = torus_.dim_z() / 2;
+      replica = c.z >= half ? 1 : 0;
+      local_plane = c.z - replica * half;
+      break;
+    }
+    case MappingScheme::Column:
+      replica = c.z % 2;
+      local_plane = c.z / 2;
+      break;
+    case MappingScheme::Mixed: {
+      int pair = c.z / (2 * chunk_);
+      int in_pair = c.z % (2 * chunk_);
+      replica = in_pair >= chunk_ ? 1 : 0;
+      local_plane = pair * chunk_ + (in_pair % chunk_);
+      break;
+    }
+  }
+  return {replica, local_plane * plane + c.y * dx + c.x};
+}
+
+std::vector<std::pair<int, int>> ReplicaMapping::buddy_pairs() const {
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<std::size_t>(nodes_per_replica()));
+  for (int i = 0; i < nodes_per_replica(); ++i)
+    pairs.emplace_back(node_rank(0, i), node_rank(1, i));
+  return pairs;
+}
+
+int ReplicaMapping::buddy_distance(int index) const {
+  return torus_.hop_distance(node_coord(0, index), node_coord(1, index));
+}
+
+}  // namespace acr::topo

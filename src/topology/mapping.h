@@ -1,0 +1,63 @@
+// Replica-to-torus mapping schemes (§4.2, Fig. 6).
+//
+// The machine torus is split into two equal replicas; node i of replica 0
+// and node i of replica 1 are buddies. The mapping decides which physical
+// node each (replica, index) pair lands on, and therefore how much the
+// buddy checkpoint traffic contends:
+//   * Default — TXYZ rank halves. Ranks grow slowest along Z, so the split
+//     is along Z and all buddy messages cross the Z bisection.
+//   * Column  — alternate Z planes. Every buddy pair is one hop apart;
+//     buddy traffic is contention-free.
+//   * Mixed   — alternate chunks of Z planes. Compromise: short buddy
+//     paths, but buddies are not physically adjacent, which reduces the
+//     chance that a spatially correlated failure takes out both.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/torus.h"
+
+namespace acr::topo {
+
+enum class MappingScheme { Default, Column, Mixed };
+
+const char* scheme_name(MappingScheme s);
+
+class ReplicaMapping {
+ public:
+  /// `mixed_chunk` is the number of consecutive Z planes per replica chunk
+  /// in the Mixed scheme (ignored otherwise).
+  ReplicaMapping(const Torus3D& torus, MappingScheme scheme,
+                 int mixed_chunk = 2);
+
+  const Torus3D& torus() const { return torus_; }
+  MappingScheme scheme() const { return scheme_; }
+  int nodes_per_replica() const { return torus_.num_nodes() / 2; }
+
+  /// Physical coordinate of node `index` of `replica` (0 or 1).
+  Coord node_coord(int replica, int index) const;
+  int node_rank(int replica, int index) const {
+    return torus_.rank_of(node_coord(replica, index));
+  }
+
+  /// Inverse: which (replica, index) lives on physical rank `rank`.
+  struct Placement {
+    int replica;
+    int index;
+  };
+  Placement placement_of(int rank) const;
+
+  /// All buddy pairs as physical ranks (replica0 node, replica1 node).
+  std::vector<std::pair<int, int>> buddy_pairs() const;
+
+  /// Hop distance between the members of buddy pair `index`.
+  int buddy_distance(int index) const;
+
+ private:
+  Torus3D torus_;
+  MappingScheme scheme_;
+  int chunk_;
+};
+
+}  // namespace acr::topo

@@ -1,0 +1,135 @@
+#include "topology/torus.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace acr::topo {
+
+const char* dir_name(Dir d) {
+  switch (d) {
+    case Dir::XPlus: return "X+";
+    case Dir::XMinus: return "X-";
+    case Dir::YPlus: return "Y+";
+    case Dir::YMinus: return "Y-";
+    case Dir::ZPlus: return "Z+";
+    case Dir::ZMinus: return "Z-";
+  }
+  return "?";
+}
+
+Torus3D::Torus3D(int dim_x, int dim_y, int dim_z)
+    : dx_(dim_x), dy_(dim_y), dz_(dim_z) {
+  ACR_REQUIRE(dim_x > 0 && dim_y > 0 && dim_z > 0,
+              "torus dimensions must be positive");
+}
+
+int Torus3D::rank_of(const Coord& c) const {
+  ACR_REQUIRE(contains(c), "coordinate outside torus");
+  return c.x + dx_ * (c.y + dy_ * c.z);
+}
+
+Coord Torus3D::coord_of(int rank) const {
+  ACR_REQUIRE(rank >= 0 && rank < num_nodes(), "rank outside torus");
+  Coord c;
+  c.x = rank % dx_;
+  c.y = (rank / dx_) % dy_;
+  c.z = rank / (dx_ * dy_);
+  return c;
+}
+
+bool Torus3D::contains(const Coord& c) const {
+  return c.x >= 0 && c.x < dx_ && c.y >= 0 && c.y < dy_ && c.z >= 0 &&
+         c.z < dz_;
+}
+
+int Torus3D::torus_delta(int from, int to, int dim) {
+  int d = (to - from) % dim;
+  if (d < 0) d += dim;          // forward distance in [0, dim)
+  if (2 * d > dim) d -= dim;    // wrap backwards when shorter
+  return d;                     // ties (2d == dim) stay positive
+}
+
+int Torus3D::hop_distance(const Coord& a, const Coord& b) const {
+  return std::abs(torus_delta(a.x, b.x, dx_)) +
+         std::abs(torus_delta(a.y, b.y, dy_)) +
+         std::abs(torus_delta(a.z, b.z, dz_));
+}
+
+int Torus3D::link_id(const Coord& node, Dir d) const {
+  return rank_of(node) * kNumDirs + static_cast<int>(d);
+}
+
+std::pair<Coord, Dir> Torus3D::link_of(int link_id) const {
+  ACR_REQUIRE(link_id >= 0 && link_id < num_links(), "link id out of range");
+  return {coord_of(link_id / kNumDirs), static_cast<Dir>(link_id % kNumDirs)};
+}
+
+Coord Torus3D::neighbor(const Coord& node, Dir d) const {
+  Coord c = node;
+  auto wrap = [](int v, int dim) { return (v % dim + dim) % dim; };
+  switch (d) {
+    case Dir::XPlus: c.x = wrap(c.x + 1, dx_); break;
+    case Dir::XMinus: c.x = wrap(c.x - 1, dx_); break;
+    case Dir::YPlus: c.y = wrap(c.y + 1, dy_); break;
+    case Dir::YMinus: c.y = wrap(c.y - 1, dy_); break;
+    case Dir::ZPlus: c.z = wrap(c.z + 1, dz_); break;
+    case Dir::ZMinus: c.z = wrap(c.z - 1, dz_); break;
+  }
+  return c;
+}
+
+std::vector<int> Torus3D::route(const Coord& src, const Coord& dst) const {
+  ACR_REQUIRE(contains(src) && contains(dst), "route endpoints outside torus");
+  std::vector<int> links;
+  links.reserve(static_cast<std::size_t>(hop_distance(src, dst)));
+  Coord cur = src;
+  auto walk = [&](int delta, Dir plus, Dir minus) {
+    Dir d = delta > 0 ? plus : minus;
+    for (int i = 0; i < std::abs(delta); ++i) {
+      links.push_back(link_id(cur, d));
+      cur = neighbor(cur, d);
+    }
+  };
+  walk(torus_delta(src.x, dst.x, dx_), Dir::XPlus, Dir::XMinus);
+  walk(torus_delta(cur.y, dst.y, dy_), Dir::YPlus, Dir::YMinus);
+  walk(torus_delta(cur.z, dst.z, dz_), Dir::ZPlus, Dir::ZMinus);
+  ACR_ASSERT(cur == dst);
+  return links;
+}
+
+Torus3D bgp_partition(int num_nodes) {
+  // Shapes follow ANL Intrepid partition geometry: Z grows first from 8 to
+  // 32, then X and Y grow. This reproduces the Fig. 8 observation that the
+  // default mapping's bisection load rises from 512 to 2048 nodes and is
+  // flat beyond.
+  switch (num_nodes) {
+    case 512: return Torus3D(8, 8, 8);
+    case 1024: return Torus3D(8, 8, 16);
+    case 2048: return Torus3D(8, 8, 32);
+    case 4096: return Torus3D(8, 16, 32);
+    case 8192: return Torus3D(16, 16, 32);
+    case 16384: return Torus3D(16, 32, 32);
+    case 32768: return Torus3D(32, 32, 32);
+    case 65536: return Torus3D(32, 32, 64);
+    case 131072: return Torus3D(32, 64, 64);
+    default: break;
+  }
+  // Fallback for non-standard sizes: near-cubic factorization with the
+  // constraint that every dimension is a power of two when num_nodes is.
+  ACR_REQUIRE(num_nodes > 0, "partition must be non-empty");
+  int dims[3] = {1, 1, 1};
+  int rem = num_nodes;
+  int axis = 2;  // grow Z first, matching BG/P
+  for (int f = 2; rem > 1;) {
+    if (rem % f == 0) {
+      dims[axis] *= f;
+      rem /= f;
+      axis = (axis + 2) % 3;  // z -> y -> x -> z
+    } else {
+      ++f;
+    }
+  }
+  return Torus3D(dims[0], dims[1], dims[2]);
+}
+
+}  // namespace acr::topo

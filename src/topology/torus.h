@@ -1,0 +1,81 @@
+// 3D torus topology: coordinates, TXYZ rank order, dimension-ordered
+// routing, and directed-link identifiers for the link-load model.
+//
+// Mirrors the Blue Gene/P interconnect the paper evaluates on (§4.2, §6):
+// ranks increase slowest along Z under the default TXYZ mapping, which is
+// why the default replica split divides the machine along Z.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/require.h"
+
+namespace acr::topo {
+
+struct Coord {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Directions of the six torus links per node.
+enum class Dir : int { XPlus = 0, XMinus, YPlus, YMinus, ZPlus, ZMinus };
+
+constexpr int kNumDirs = 6;
+
+const char* dir_name(Dir d);
+
+class Torus3D {
+ public:
+  Torus3D(int dim_x, int dim_y, int dim_z);
+
+  int dim_x() const { return dx_; }
+  int dim_y() const { return dy_; }
+  int dim_z() const { return dz_; }
+  int num_nodes() const { return dx_ * dy_ * dz_; }
+
+  /// TXYZ order: x fastest, z slowest.
+  int rank_of(const Coord& c) const;
+  Coord coord_of(int rank) const;
+
+  bool contains(const Coord& c) const;
+
+  /// Shortest signed displacement from a to b along one dimension with
+  /// torus wraparound; ties (exactly half the ring) resolve positive.
+  static int torus_delta(int from, int to, int dim);
+
+  /// Minimal hop count between two nodes.
+  int hop_distance(const Coord& a, const Coord& b) const;
+
+  /// Directed link leaving `node` in direction `d`. Dense in
+  /// [0, num_nodes()*6).
+  int link_id(const Coord& node, Dir d) const;
+  int num_links() const { return num_nodes() * kNumDirs; }
+
+  /// Source node and direction of a link id (inverse of link_id).
+  std::pair<Coord, Dir> link_of(int link_id) const;
+
+  /// Dimension-ordered (X, then Y, then Z) minimal route. Returns the
+  /// directed link ids traversed, in order. Empty when src == dst.
+  std::vector<int> route(const Coord& src, const Coord& dst) const;
+
+  /// Neighbor of `node` in direction `d` (with wraparound).
+  Coord neighbor(const Coord& node, Dir d) const;
+
+ private:
+  int dx_, dy_, dz_;
+};
+
+/// BG/P-style partition shape for a given node count: the torus dimensions
+/// ANL Intrepid hands out for power-of-two partitions from 512 nodes up.
+/// These shapes drive the Z-dimension growth pattern the paper observes
+/// (Z: 8 -> 32 as the partition grows from 512 to 2048 nodes, then X and Y
+/// grow while Z saturates at 32).
+Torus3D bgp_partition(int num_nodes);
+
+}  // namespace acr::topo

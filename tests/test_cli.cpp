@@ -1,0 +1,101 @@
+// Command-line parser tests.
+#include <gtest/gtest.h>
+
+#include "common/cli.h"
+
+namespace acr {
+namespace {
+
+struct Args {
+  bool verbose = false;
+  int count = 3;
+  double rate = 1.5;
+  std::uint64_t seed = 7;
+  std::string name = "default";
+  std::string mode = "fast";
+};
+
+CliParser make_parser(Args& a) {
+  CliParser p("test program");
+  p.add_flag("verbose", &a.verbose, "chatty output");
+  p.add_int("count", &a.count, "how many");
+  p.add_double("rate", &a.rate, "events per second");
+  p.add_uint64("seed", &a.seed, "rng seed");
+  p.add_string("name", &a.name, "label");
+  p.add_choice("mode", &a.mode, {"fast", "slow"}, "speed");
+  return p;
+}
+
+bool parse(CliParser& p, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return p.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, DefaultsSurviveEmptyArgv) {
+  Args a;
+  CliParser p = make_parser(a);
+  EXPECT_TRUE(parse(p, {}));
+  EXPECT_EQ(a.count, 3);
+  EXPECT_EQ(a.mode, "fast");
+}
+
+TEST(Cli, EqualsAndSpaceFormsBothWork) {
+  Args a;
+  CliParser p = make_parser(a);
+  EXPECT_TRUE(parse(p, {"--count=9", "--rate", "2.25", "--name=x",
+                        "--seed", "123"}));
+  EXPECT_EQ(a.count, 9);
+  EXPECT_DOUBLE_EQ(a.rate, 2.25);
+  EXPECT_EQ(a.name, "x");
+  EXPECT_EQ(a.seed, 123u);
+}
+
+TEST(Cli, BoolFlagAndNegation) {
+  Args a;
+  CliParser p = make_parser(a);
+  EXPECT_TRUE(parse(p, {"--verbose"}));
+  EXPECT_TRUE(a.verbose);
+  Args b;
+  CliParser q = make_parser(b);
+  b.verbose = true;
+  EXPECT_TRUE(parse(q, {"--no-verbose"}));
+  EXPECT_FALSE(b.verbose);
+}
+
+TEST(Cli, ChoiceValidation) {
+  Args a;
+  CliParser p = make_parser(a);
+  EXPECT_TRUE(parse(p, {"--mode=slow"}));
+  EXPECT_EQ(a.mode, "slow");
+  Args b;
+  CliParser q = make_parser(b);
+  EXPECT_FALSE(parse(q, {"--mode=medium"}));
+}
+
+TEST(Cli, RejectsUnknownFlagsAndBadValues) {
+  Args a;
+  CliParser p = make_parser(a);
+  EXPECT_FALSE(parse(p, {"--bogus=1"}));
+  Args b;
+  CliParser q = make_parser(b);
+  EXPECT_FALSE(parse(q, {"--count=ten"}));
+  Args c;
+  CliParser r = make_parser(c);
+  EXPECT_FALSE(parse(r, {"--count"}));  // missing value
+  Args d;
+  CliParser s = make_parser(d);
+  EXPECT_FALSE(parse(s, {"positional"}));
+}
+
+TEST(Cli, HelpReturnsFalseAndUsageListsOptions) {
+  Args a;
+  CliParser p = make_parser(a);
+  EXPECT_FALSE(parse(p, {"--help"}));
+  std::string u = p.usage();
+  for (const char* opt : {"--verbose", "--count", "--rate", "--mode"})
+    EXPECT_NE(u.find(opt), std::string::npos) << opt;
+  EXPECT_NE(u.find("{fast,slow}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace acr

@@ -1,0 +1,142 @@
+// Direct tests for the common substrate: RNG, statistics, table printer,
+// logging, and requirement checking.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/require.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace acr {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Pcg32 a(42, 7), b(42, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Pcg32 a(42, 1), b(42, 2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BoundedIsInRangeAndRoughlyUniform) {
+  Pcg32 rng(3, 3);
+  std::array<int, 7> counts{};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) {
+    std::uint32_t v = rng.bounded(7);
+    ASSERT_LT(v, 7u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_NEAR(c, n / 7, n / 7 / 10);
+  EXPECT_EQ(rng.bounded(1), 0u);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Rng, UniformIsInHalfOpenUnitInterval) {
+  Pcg32 rng(9, 1);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, FactoryProducesDistinctStreams) {
+  RngFactory factory(1234);
+  Pcg32 a = factory.make();
+  Pcg32 b = factory.make();
+  std::set<std::uint32_t> seen;
+  bool identical = true;
+  for (int i = 0; i < 32; ++i) identical &= (a.next() == b.next());
+  EXPECT_FALSE(identical);
+}
+
+TEST(RunningStats, MatchesClosedForms) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyAndSingleAreSafe) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Percentile, InterpolatesOrderStatistics) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+  EXPECT_THROW(percentile({}, 0.5), RequireError);
+  EXPECT_THROW(percentile(v, 1.5), RequireError);
+}
+
+TEST(Histogram, BinsAndClamps) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {-1.0, 0.5, 3.0, 9.9, 42.0}) h.add(x);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);  // -1 clamped + 0.5
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);  // 9.9 + 42 clamped
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("name   value"), std::string::npos);
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+  EXPECT_NE(out.find("b      22222"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), RequireError);
+}
+
+TEST(Table, FmtUsesSignificantDigits) {
+  EXPECT_EQ(TablePrinter::fmt(0.123456, 3), "0.123");
+  EXPECT_EQ(TablePrinter::fmt(12345.6, 3), "1.23e+04");
+}
+
+TEST(Require, ThrowsWithContext) {
+  try {
+    ACR_REQUIRE(1 == 2, "math is broken");
+    FAIL() << "should have thrown";
+  } catch (const RequireError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+  }
+}
+
+TEST(Logging, LevelGatesOutput) {
+  // log_line is thread-safe and level-gated; exercise the control surface.
+  LogLevel before = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  log_info("test") << "this must be suppressed";
+  log_error("test") << "";  // emitted (empty) — must not crash
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace acr

@@ -1,0 +1,90 @@
+// Virtual-time event engine tests.
+#include <gtest/gtest.h>
+
+#include "rt/engine.h"
+
+namespace acr::rt {
+namespace {
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  EXPECT_EQ(e.events_processed(), 3u);
+}
+
+TEST(Engine, TiesBreakFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, HandlersCanScheduleMore) {
+  Engine e;
+  int fired = 0;
+  std::function<void()> chain = [&]() {
+    ++fired;
+    if (fired < 5) e.schedule_after(1.0, chain);
+  };
+  e.schedule_after(1.0, chain);
+  e.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+}
+
+TEST(Engine, CancelSuppressesEvent) {
+  Engine e;
+  bool fired = false;
+  auto id = e.schedule_at(1.0, [&] { fired = true; });
+  e.cancel(id);
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelUnknownIdIsNoop) {
+  Engine e;
+  e.cancel(424242);
+  bool fired = false;
+  e.schedule_at(1.0, [&] { fired = true; });
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine e;
+  std::vector<double> fired;
+  for (double t : {0.5, 1.5, 2.5}) e.schedule_at(t, [&fired, t] { fired.push_back(t); });
+  std::size_t n = e.run_until(2.0);
+  EXPECT_EQ(n, 2u);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, RunUntilSkipsCancelledWithoutOvershooting) {
+  Engine e;
+  bool late_fired = false;
+  auto early = e.schedule_at(1.0, [] {});
+  e.schedule_at(5.0, [&] { late_fired = true; });
+  e.cancel(early);
+  e.run_until(2.0);
+  EXPECT_FALSE(late_fired);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+}
+
+TEST(Engine, RejectsSchedulingInThePast) {
+  Engine e;
+  e.schedule_at(2.0, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(1.0, [] {}), RequireError);
+}
+
+}  // namespace
+}  // namespace acr::rt

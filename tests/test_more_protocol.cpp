@@ -1,0 +1,162 @@
+// Additional protocol- and app-level properties: periodic spacing, the
+// verify_at_completion switch, feature composition (semi-blocking +
+// adaptive + prediction), and numerical sanity of the Jacobi solver.
+#include <gtest/gtest.h>
+
+#include "acr/runtime.h"
+#include "apps/jacobi3d.h"
+#include "failure/distributions.h"
+
+namespace acr {
+namespace {
+
+apps::Jacobi3DConfig app_cfg(std::uint64_t iterations = 40) {
+  apps::Jacobi3DConfig cfg;
+  cfg.tasks_x = cfg.tasks_y = cfg.tasks_z = 2;
+  cfg.block_x = cfg.block_y = cfg.block_z = 4;
+  cfg.iterations = iterations;
+  cfg.slots_per_node = 2;
+  cfg.seconds_per_point = 1e-5;
+  return cfg;
+}
+
+TEST(Protocol, CommitsAreSpacedByTheConfiguredInterval) {
+  apps::Jacobi3DConfig j = app_cfg(60);
+  AcrConfig ac;
+  ac.checkpoint_interval = 0.004;
+  rt::ClusterConfig cc;
+  cc.nodes_per_replica = j.nodes_needed();
+  cc.spare_nodes = 0;
+  AcrRuntime runtime(ac, cc);
+  runtime.set_task_factory(j.factory());
+  runtime.setup();
+  RunSummary s = runtime.run(100.0);
+  ASSERT_TRUE(s.complete);
+  std::vector<double> commits;
+  for (const auto& e : runtime.trace().events())
+    if (e.kind == rt::TraceKind::CheckpointCommitted) commits.push_back(e.time);
+  ASSERT_GE(commits.size(), 4u);
+  // Gaps are interval + protocol latency; never shorter than the interval
+  // and never more than ~50% longer (the final verification checkpoint can
+  // fire early, so stop before the last gap).
+  for (std::size_t i = 1; i + 1 < commits.size(); ++i) {
+    double gap = commits[i] - commits[i - 1];
+    EXPECT_GE(gap, ac.checkpoint_interval * 0.99) << "gap " << i;
+    EXPECT_LE(gap, ac.checkpoint_interval * 1.5) << "gap " << i;
+  }
+}
+
+TEST(Protocol, VerifyAtCompletionOffMatchesPaperSemantics) {
+  apps::Jacobi3DConfig j = app_cfg();
+  AcrConfig ac;
+  ac.checkpoint_interval = 0.004;
+  ac.verify_at_completion = false;
+  rt::ClusterConfig cc;
+  cc.nodes_per_replica = j.nodes_needed();
+  cc.spare_nodes = 0;
+  AcrRuntime runtime(ac, cc);
+  runtime.set_task_factory(j.factory());
+  runtime.setup();
+  RunSummary s = runtime.run(100.0);
+  ASSERT_TRUE(s.complete);
+  // Completion declared by the first finished replica, not by a final
+  // verification epoch.
+  const rt::TraceEvent* done =
+      runtime.trace().find_first(rt::TraceKind::JobComplete);
+  ASSERT_NE(done, nullptr);
+  EXPECT_EQ(done->detail, "replica finished");
+}
+
+TEST(Protocol, VerifyAtCompletionOnEmitsVerifiedResult) {
+  apps::Jacobi3DConfig j = app_cfg();
+  AcrConfig ac;
+  ac.checkpoint_interval = 0.004;
+  rt::ClusterConfig cc;
+  cc.nodes_per_replica = j.nodes_needed();
+  cc.spare_nodes = 0;
+  AcrRuntime runtime(ac, cc);
+  runtime.set_task_factory(j.factory());
+  runtime.setup();
+  RunSummary s = runtime.run(100.0);
+  ASSERT_TRUE(s.complete);
+  const rt::TraceEvent* done =
+      runtime.trace().find_first(rt::TraceKind::JobComplete);
+  ASSERT_NE(done, nullptr);
+  EXPECT_EQ(done->detail, "verified result");
+  // The final verification is the last committed epoch.
+  double last_commit = 0.0;
+  for (const auto& e : runtime.trace().events())
+    if (e.kind == rt::TraceKind::CheckpointCommitted) last_commit = e.time;
+  EXPECT_LE(last_commit, done->time + 1e-9);
+  EXPECT_GT(last_commit, 0.0);
+}
+
+TEST(Protocol, AllFeaturesComposeUnderFaults) {
+  // Semi-blocking + adaptive interval + failure prediction + checksum
+  // detection, with a mixed fault storm: must terminate correctly.
+  apps::Jacobi3DConfig j = app_cfg(60);
+  AcrConfig ac;
+  ac.scheme = ResilienceScheme::Strong;
+  ac.detection = SdcDetection::Checksum;
+  ac.semi_blocking = true;
+  ac.adaptive = true;
+  ac.adaptive_config.checkpoint_cost = 2e-4;
+  ac.adaptive_config.min_interval = 0.002;
+  ac.adaptive_config.max_interval = 0.02;
+  ac.checkpoint_interval = 0.004;
+  ac.heartbeat_period = 0.0005;
+  ac.heartbeat_timeout = 0.002;
+  rt::ClusterConfig cc;
+  cc.nodes_per_replica = j.nodes_needed();
+  cc.spare_nodes = 12;
+  cc.seed = 777;
+  AcrRuntime runtime(ac, cc);
+  runtime.set_task_factory(j.factory());
+  runtime.setup();
+  PredictorConfig pred;
+  pred.recall = 0.7;
+  pred.precision = 0.8;
+  pred.lead_time = 0.001;
+  runtime.set_predictor(pred);
+  FaultPlan plan;
+  plan.arrivals = std::make_shared<failure::RenewalProcess>(
+      std::make_shared<failure::Exponential>(0.01));
+  plan.sdc_fraction = 0.4;
+  runtime.set_fault_plan(plan);
+  RunSummary s = runtime.run(60.0);
+  EXPECT_TRUE(s.complete || s.failed) << "wedged at " << s.finish_time;
+}
+
+TEST(Jacobi, StencilSmoothsTowardTheZeroBoundary) {
+  // With zero Dirichlet-style ghosts, repeated averaging must contract the
+  // solution norm; more iterations, smaller norm.
+  auto run_norm = [](std::uint64_t iterations) {
+    apps::Jacobi3DConfig j = app_cfg(iterations);
+    AcrConfig ac;
+    ac.checkpoint_interval = 1e6;  // pure solve
+    rt::ClusterConfig cc;
+    cc.nodes_per_replica = j.nodes_needed();
+    cc.spare_nodes = 0;
+    AcrRuntime runtime(ac, cc);
+    runtime.set_task_factory(j.factory());
+    runtime.setup();
+    RunSummary s = runtime.run(100.0);
+    EXPECT_TRUE(s.complete);
+    double norm = 0.0;
+    for (int i = 0; i < runtime.cluster().nodes_per_replica(); ++i) {
+      rt::Node& node = runtime.cluster().node_at(0, i);
+      for (int t = 0; t < node.num_tasks(); ++t)
+        norm += static_cast<apps::Jacobi3DTask&>(node.task(t)).solution_norm();
+    }
+    return norm;
+  };
+  double n5 = run_norm(5);
+  double n20 = run_norm(20);
+  double n60 = run_norm(60);
+  EXPECT_GT(n5, n20);
+  EXPECT_GT(n20, n60);
+  EXPECT_GT(n60, 0.0);
+}
+
+}  // namespace
+}  // namespace acr

@@ -1,0 +1,116 @@
+// Link-load model tests: accumulation, bottleneck analysis, phase time,
+// and the replica-bisection behaviour behind Fig. 8's scaling shape.
+#include <gtest/gtest.h>
+
+#include "net/link_load.h"
+#include "topology/mapping.h"
+
+namespace acr::net {
+namespace {
+
+using topo::Coord;
+using topo::Dir;
+using topo::MappingScheme;
+using topo::ReplicaMapping;
+using topo::Torus3D;
+
+TEST(LinkLoad, SingleMessageLoadsItsPath) {
+  Torus3D t(4, 4, 4);
+  LinkLoadModel m(t);
+  m.add_message(t.rank_of({0, 0, 0}), t.rank_of({2, 1, 0}), 100.0);
+  EXPECT_EQ(m.total_messages(), 1u);
+  EXPECT_EQ(m.max_hops(), 3);
+  EXPECT_DOUBLE_EQ(m.total_byte_hops(), 300.0);
+  EXPECT_DOUBLE_EQ(m.link_bytes(t.link_id({0, 0, 0}, Dir::XPlus)), 100.0);
+  EXPECT_DOUBLE_EQ(m.link_bytes(t.link_id({1, 0, 0}, Dir::XPlus)), 100.0);
+  EXPECT_DOUBLE_EQ(m.link_bytes(t.link_id({2, 0, 0}, Dir::YPlus)), 100.0);
+  EXPECT_DOUBLE_EQ(m.link_bytes(t.link_id({0, 0, 0}, Dir::YPlus)), 0.0);
+}
+
+TEST(LinkLoad, SelfMessageIsFree) {
+  Torus3D t(2, 2, 2);
+  LinkLoadModel m(t);
+  m.add_message(3, 3, 1e9);
+  EXPECT_EQ(m.total_messages(), 0u);
+  EXPECT_DOUBLE_EQ(m.max_link_bytes(), 0.0);
+}
+
+TEST(LinkLoad, ClearResets) {
+  Torus3D t(2, 2, 2);
+  LinkLoadModel m(t);
+  m.add_message(0, 1, 10.0);
+  m.clear();
+  EXPECT_EQ(m.total_messages(), 0u);
+  EXPECT_DOUBLE_EQ(m.max_link_bytes(), 0.0);
+  EXPECT_EQ(m.max_hops(), 0);
+}
+
+TEST(LinkLoad, PhaseTimeIsLatencyPlusBottleneckDrain) {
+  Torus3D t(1, 1, 8);
+  LinkLoadModel m(t);
+  ReplicaMapping rm(t, MappingScheme::Default);
+  m.add_traffic(rm.buddy_pairs(), 1000.0);
+  NetworkParams p;
+  p.alpha = 1e-6;
+  p.link_bandwidth = 1e9;
+  // Bottleneck link carries 4 messages x 1000 B; longest path is 4 hops.
+  EXPECT_NEAR(m.phase_time(p), 4 * 1e-6 + 4000.0 / 1e9, 1e-12);
+}
+
+/// The paper's Fig. 8 observation: with the default mapping the bisection
+/// load (and hence the transfer time) grows with the Z dimension and
+/// saturates once Z stops growing (Z = 32 from 2048 nodes on).
+TEST(LinkLoad, DefaultMappingTransferTracksZDimension) {
+  NetworkParams p;
+  double prev = 0.0;
+  std::vector<double> times;
+  for (int nodes : {512, 1024, 2048, 4096, 8192}) {
+    Torus3D t = topo::bgp_partition(nodes);
+    ReplicaMapping rm(t, MappingScheme::Default);
+    LinkLoadModel m(t);
+    m.add_traffic(rm.buddy_pairs(), 1 << 20);
+    times.push_back(m.phase_time(p));
+  }
+  // Growing while Z grows (512 -> 2048)...
+  EXPECT_LT(times[0], times[1]);
+  EXPECT_LT(times[1], times[2]);
+  // ...then flat once Z saturates.
+  EXPECT_NEAR(times[2], times[3], times[2] * 0.01);
+  EXPECT_NEAR(times[3], times[4], times[3] * 0.01);
+  prev = times[0];
+  (void)prev;
+}
+
+/// Column mapping keeps the transfer time flat at every scale.
+TEST(LinkLoad, ColumnMappingTransferIsScaleInvariant) {
+  NetworkParams p;
+  std::vector<double> times;
+  for (int nodes : {512, 2048, 8192}) {
+    Torus3D t = topo::bgp_partition(nodes);
+    ReplicaMapping rm(t, MappingScheme::Column);
+    LinkLoadModel m(t);
+    m.add_traffic(rm.buddy_pairs(), 1 << 20);
+    times.push_back(m.phase_time(p));
+  }
+  EXPECT_NEAR(times[0], times[1], times[0] * 0.01);
+  EXPECT_NEAR(times[1], times[2], times[1] * 0.01);
+}
+
+TEST(LinkLoad, MappingOrderingDefaultWorstColumnBest) {
+  Torus3D t = topo::bgp_partition(2048);
+  NetworkParams p;
+  auto time_for = [&](MappingScheme s) {
+    ReplicaMapping rm(t, s, 2);
+    LinkLoadModel m(t);
+    m.add_traffic(rm.buddy_pairs(), 1 << 20);
+    return m.phase_time(p);
+  };
+  double def = time_for(MappingScheme::Default);
+  double mix = time_for(MappingScheme::Mixed);
+  double col = time_for(MappingScheme::Column);
+  EXPECT_LT(col, mix);
+  EXPECT_LT(mix, def);
+}
+
+}  // namespace
+}  // namespace acr::net

@@ -1,0 +1,273 @@
+// Unit and property tests for the PUP serialization framework.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "pup/checker.h"
+#include "pup/pup.h"
+
+namespace acr::pup {
+namespace {
+
+struct Inner {
+  std::int32_t a = 0;
+  std::vector<double> values;
+  void pup(Puper& p) {
+    p | a;
+    p | values;
+  }
+  bool operator==(const Inner&) const = default;
+};
+
+struct Outer {
+  double x = 0.0;
+  float y = 0.0f;
+  bool flag = false;
+  std::string name;
+  std::vector<Inner> inners;
+  std::map<std::string, std::uint64_t> index;
+  std::array<std::int16_t, 4> small{};
+  std::pair<std::uint8_t, double> pr{};
+  void pup(Puper& p) {
+    p | x;
+    p | y;
+    p | flag;
+    p | name;
+    p | inners;
+    p | index;
+    p | small;
+    p | pr;
+  }
+  bool operator==(const Outer&) const = default;
+};
+
+Outer make_sample(std::uint64_t seed) {
+  Pcg32 rng(seed, 3);
+  Outer o;
+  o.x = rng.uniform(-10, 10);
+  o.y = static_cast<float>(rng.uniform());
+  o.flag = rng.bounded(2) == 1;
+  o.name = "sample-" + std::to_string(seed);
+  for (int i = 0; i < 3; ++i) {
+    Inner in;
+    in.a = static_cast<std::int32_t>(rng.next());
+    for (int j = 0; j < 5; ++j) in.values.push_back(rng.uniform());
+    o.inners.push_back(in);
+  }
+  o.index["alpha"] = rng.next64();
+  o.index["beta"] = rng.next64();
+  for (auto& s : o.small) s = static_cast<std::int16_t>(rng.next());
+  o.pr = {static_cast<std::uint8_t>(rng.bounded(255)), rng.uniform()};
+  return o;
+}
+
+TEST(Pup, SizerMatchesPackerExactly) {
+  Outer o = make_sample(1);
+  EXPECT_EQ(checkpoint_size(o), make_checkpoint(o).size());
+}
+
+TEST(Pup, RoundTripIsIdentity) {
+  Outer o = make_sample(2);
+  Checkpoint c = make_checkpoint(o);
+  Outer restored;
+  restore_checkpoint(restored, c);
+  EXPECT_EQ(o, restored);
+}
+
+TEST(Pup, RoundTripPreservesEmptyContainers) {
+  Outer o;  // all defaults: empty vectors, map, string
+  Checkpoint c = make_checkpoint(o);
+  Outer restored = make_sample(9);  // pre-populate to prove clearing works
+  restore_checkpoint(restored, c);
+  EXPECT_EQ(o, restored);
+}
+
+TEST(Pup, UnpackerDetectsTagMismatch) {
+  double d = 4.0;
+  Packer p;
+  p | d;
+  Checkpoint c = p.take();
+  std::int64_t wrong = 0;
+  Unpacker u(c);
+  EXPECT_THROW(u | wrong, StreamError);
+}
+
+TEST(Pup, UnpackerDetectsCountMismatch) {
+  std::vector<double> v{1, 2, 3};
+  Checkpoint c = make_checkpoint(v);
+  // Corrupt the element-count header of the array record: the stream has
+  // [u64 record: count=1][payload 8B (the value 3)] then
+  // [f64 record: count=3][payload 24B].
+  auto bytes = std::vector<std::byte>(c.bytes().begin(), c.bytes().end());
+  // First record header: tag(1) + count(8) + payload(8) = 17 bytes.
+  std::uint64_t bogus = 999;
+  std::memcpy(bytes.data() + 17 + 1, &bogus, sizeof bogus);
+  Checkpoint corrupt{std::move(bytes)};
+  std::vector<double> out;
+  Unpacker u(corrupt);
+  EXPECT_THROW(u | out, StreamError);
+}
+
+TEST(Pup, UnpackerDetectsTruncation) {
+  Outer o = make_sample(3);
+  Checkpoint c = make_checkpoint(o);
+  auto bytes = std::vector<std::byte>(c.bytes().begin(), c.bytes().end());
+  bytes.resize(bytes.size() / 2);
+  Checkpoint truncated{std::move(bytes)};
+  Outer out;
+  EXPECT_THROW(restore_checkpoint(out, truncated), StreamError);
+}
+
+TEST(Pup, EnumsRoundTrip) {
+  enum class Color : std::uint16_t { Red = 7, Blue = 9 };
+  Color color = Color::Blue;
+  Packer p;
+  pup_value(p, color);
+  Color out = Color::Red;
+  Checkpoint c = p.take();
+  Unpacker u(c);
+  pup_value(u, out);
+  EXPECT_EQ(out, Color::Blue);
+}
+
+// ---------------------------------------------------------------------------
+// Checker.
+// ---------------------------------------------------------------------------
+
+TEST(Checker, IdenticalStreamsMatch) {
+  Outer o = make_sample(4);
+  Checkpoint a = make_checkpoint(o);
+  Checkpoint b = make_checkpoint(o);
+  CompareResult r = compare_checkpoints(a, b);
+  EXPECT_TRUE(r.match);
+  EXPECT_EQ(r.mismatched_elements, 0u);
+  EXPECT_GT(r.bytes_compared, 0u);
+}
+
+TEST(Checker, DifferentLengthsAreStructuralDivergence) {
+  std::vector<double> a{1, 2, 3}, b{1, 2, 3, 4};
+  Checkpoint ca = make_checkpoint(a), cb = make_checkpoint(b);
+  CompareResult r = compare_checkpoints(ca, cb);
+  EXPECT_FALSE(r.match);
+  // The divergence is caught at the length record before any element data.
+  EXPECT_EQ(r.first.record_index, 0u);
+}
+
+TEST(Checker, TagDivergenceDetected) {
+  double d = 1.0;
+  float f = 1.0f;
+  Packer pa, pb;
+  pa | d;
+  pb | f;
+  // Same header sizes? different payload sizes; still structural.
+  CompareResult r = compare_streams(pa.take().bytes(), pb.take().bytes());
+  EXPECT_FALSE(r.match);
+}
+
+TEST(Checker, RelativeToleranceAcceptsRoundoff) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{1.0 + 1e-13, 2.0, 3.0 - 1e-13};
+  CheckerConfig strict;
+  EXPECT_FALSE(
+      compare_checkpoints(make_checkpoint(a), make_checkpoint(b), strict)
+          .match);
+  CheckerConfig tolerant;
+  tolerant.defaults.rel_tol = 1e-10;
+  EXPECT_TRUE(
+      compare_checkpoints(make_checkpoint(a), make_checkpoint(b), tolerant)
+          .match);
+}
+
+TEST(Checker, AbsoluteTolerance) {
+  std::vector<float> a{0.0f, 5.0f};
+  std::vector<float> b{1e-8f, 5.0f};
+  CheckerConfig cfg;
+  cfg.defaults.abs_tol = 1e-6;
+  EXPECT_TRUE(
+      compare_checkpoints(make_checkpoint(a), make_checkpoint(b), cfg).match);
+}
+
+TEST(Checker, NanEqualsNan) {
+  std::vector<double> a{std::nan("1")}, b{std::nan("2")};
+  // Identical bit patterns would match anyway; use different payloads.
+  CheckerConfig cfg;
+  cfg.defaults.rel_tol = 1e-30;  // activates the fp comparison path
+  EXPECT_TRUE(
+      compare_checkpoints(make_checkpoint(a), make_checkpoint(b), cfg).match);
+}
+
+struct WithIgnored {
+  double important = 0.0;
+  double replica_local = 0.0;  // e.g. a timer
+  void pup(Puper& p) {
+    p | important;
+    CompareOptions opts;
+    opts.ignore = true;
+    p.push_options(opts);
+    p | replica_local;
+    p.pop_options();
+  }
+};
+
+TEST(Checker, IgnoredSectionsAreSkipped) {
+  WithIgnored a{1.5, 100.0};
+  WithIgnored b{1.5, -999.0};
+  EXPECT_TRUE(compare_checkpoints(make_checkpoint(a), make_checkpoint(b)).match);
+  WithIgnored c{2.5, 100.0};
+  EXPECT_FALSE(
+      compare_checkpoints(make_checkpoint(a), make_checkpoint(c)).match);
+}
+
+TEST(Checker, IgnoredSectionRoundTripsThroughUnpacker) {
+  WithIgnored a{1.5, 42.0};
+  Checkpoint c = make_checkpoint(a);
+  WithIgnored out{};
+  restore_checkpoint(out, c);
+  EXPECT_EQ(out.important, 1.5);
+  EXPECT_EQ(out.replica_local, 42.0);
+}
+
+TEST(Checker, CountsAllMismatchesWhenAsked) {
+  std::vector<double> a{1, 2, 3, 4, 5};
+  std::vector<double> b{1, 9, 3, 9, 9};
+  CheckerConfig cfg;
+  cfg.stop_at_first = false;
+  CompareResult r =
+      compare_checkpoints(make_checkpoint(a), make_checkpoint(b), cfg);
+  EXPECT_FALSE(r.match);
+  EXPECT_EQ(r.mismatched_elements, 3u);
+}
+
+/// Property: ANY single bit flip in compared payload bytes is detected.
+class CheckerBitFlip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckerBitFlip, SingleBitFlipAlwaysDetected) {
+  Outer o = make_sample(100 + GetParam());
+  Checkpoint a = make_checkpoint(o);
+  Pcg32 rng(static_cast<std::uint64_t>(GetParam()), 5);
+  for (int trial = 0; trial < 50; ++trial) {
+    Checkpoint b = make_checkpoint(o);
+    // Flip a random payload bit (skip the flip when it lands in a record
+    // header by re-drawing against the payload layout via the injector's
+    // logic — here we simply flip any byte and accept that header flips
+    // surface as StreamError-free structural mismatches).
+    auto bytes = std::vector<std::byte>(b.bytes().begin(), b.bytes().end());
+    std::size_t pos = static_cast<std::size_t>(rng.next64() % bytes.size());
+    bytes[pos] ^= static_cast<std::byte>(1u << rng.bounded(8));
+    Checkpoint flipped{std::move(bytes)};
+    bool detected = false;
+    try {
+      detected = !compare_checkpoints(a, flipped).match;
+    } catch (const StreamError&) {
+      detected = true;  // header corruption: malformed stream, also caught
+    }
+    EXPECT_TRUE(detected) << "flip at byte " << pos << " went unnoticed";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckerBitFlip, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace acr::pup

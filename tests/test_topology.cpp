@@ -1,0 +1,175 @@
+// Torus and replica-mapping tests, including the Fig. 6 link-load patterns.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/link_load.h"
+#include "topology/mapping.h"
+#include "topology/torus.h"
+
+namespace acr::topo {
+namespace {
+
+TEST(Torus, RankCoordBijection) {
+  Torus3D t(3, 4, 5);
+  std::set<int> seen;
+  for (int z = 0; z < 5; ++z)
+    for (int y = 0; y < 4; ++y)
+      for (int x = 0; x < 3; ++x) {
+        int r = t.rank_of({x, y, z});
+        EXPECT_TRUE(seen.insert(r).second);
+        EXPECT_EQ(t.coord_of(r), (Coord{x, y, z}));
+      }
+  EXPECT_EQ(static_cast<int>(seen.size()), t.num_nodes());
+}
+
+TEST(Torus, TxyzOrderIsZSlowest) {
+  Torus3D t(4, 4, 4);
+  EXPECT_EQ(t.rank_of({1, 0, 0}), 1);
+  EXPECT_EQ(t.rank_of({0, 1, 0}), 4);
+  EXPECT_EQ(t.rank_of({0, 0, 1}), 16);
+}
+
+TEST(Torus, TorusDeltaWrapsShortestWay) {
+  EXPECT_EQ(Torus3D::torus_delta(0, 1, 8), 1);
+  EXPECT_EQ(Torus3D::torus_delta(0, 7, 8), -1);
+  EXPECT_EQ(Torus3D::torus_delta(7, 0, 8), 1);
+  EXPECT_EQ(Torus3D::torus_delta(0, 4, 8), 4);  // tie resolves positive
+  EXPECT_EQ(Torus3D::torus_delta(2, 2, 8), 0);
+}
+
+TEST(Torus, HopDistanceAndRouteAgree) {
+  Torus3D t(4, 6, 8);
+  Coord a{0, 1, 7}, b{3, 4, 2};
+  auto path = t.route(a, b);
+  EXPECT_EQ(static_cast<int>(path.size()), t.hop_distance(a, b));
+}
+
+TEST(Torus, RouteFollowsLinks) {
+  Torus3D t(4, 4, 4);
+  Coord a{3, 0, 0}, b{0, 2, 3};
+  Coord cur = a;
+  for (int link : t.route(a, b)) {
+    auto [src, dir] = t.link_of(link);
+    EXPECT_EQ(src, cur);
+    cur = t.neighbor(src, dir);
+  }
+  EXPECT_EQ(cur, b);
+}
+
+TEST(Torus, RouteEmptyForSelf) {
+  Torus3D t(4, 4, 4);
+  EXPECT_TRUE(t.route({1, 1, 1}, {1, 1, 1}).empty());
+}
+
+TEST(Torus, BgpPartitionShapes) {
+  // Z grows 8 -> 32 from 512 to 2048 nodes, then saturates (§6.2).
+  EXPECT_EQ(bgp_partition(512).dim_z(), 8);
+  EXPECT_EQ(bgp_partition(1024).dim_z(), 16);
+  EXPECT_EQ(bgp_partition(2048).dim_z(), 32);
+  EXPECT_EQ(bgp_partition(8192).dim_z(), 32);
+  EXPECT_EQ(bgp_partition(32768).dim_z(), 32);
+  for (int n : {512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072})
+    EXPECT_EQ(bgp_partition(n).num_nodes(), n);
+}
+
+TEST(Torus, BgpPartitionFallbackFactors) {
+  EXPECT_EQ(bgp_partition(24).num_nodes(), 24);
+  EXPECT_EQ(bgp_partition(100).num_nodes(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// Mappings.
+// ---------------------------------------------------------------------------
+
+class MappingBijection
+    : public ::testing::TestWithParam<std::tuple<MappingScheme, int>> {};
+
+TEST_P(MappingBijection, CoversEveryPhysicalNodeOnce) {
+  auto [scheme, zdim] = GetParam();
+  Torus3D t(4, 4, zdim);
+  ReplicaMapping m(t, scheme);
+  std::set<int> physical;
+  for (int r = 0; r < 2; ++r) {
+    for (int i = 0; i < m.nodes_per_replica(); ++i) {
+      int rank = m.node_rank(r, i);
+      EXPECT_TRUE(physical.insert(rank).second)
+          << "rank " << rank << " assigned twice";
+      auto placement = m.placement_of(rank);
+      EXPECT_EQ(placement.replica, r);
+      EXPECT_EQ(placement.index, i);
+    }
+  }
+  EXPECT_EQ(static_cast<int>(physical.size()), t.num_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, MappingBijection,
+    ::testing::Combine(::testing::Values(MappingScheme::Default,
+                                         MappingScheme::Column,
+                                         MappingScheme::Mixed),
+                       ::testing::Values(4, 8, 16)));
+
+TEST(Mapping, ColumnBuddiesAreAdjacent) {
+  Torus3D t(8, 8, 8);
+  ReplicaMapping m(t, MappingScheme::Column);
+  for (int i = 0; i < m.nodes_per_replica(); ++i)
+    EXPECT_EQ(m.buddy_distance(i), 1);
+}
+
+TEST(Mapping, MixedBuddiesAreChunkApart) {
+  Torus3D t(8, 8, 8);
+  ReplicaMapping m(t, MappingScheme::Mixed, 2);
+  for (int i = 0; i < m.nodes_per_replica(); ++i)
+    EXPECT_EQ(m.buddy_distance(i), 2);
+}
+
+TEST(Mapping, DefaultBuddiesCrossTheBisection) {
+  Torus3D t(8, 8, 8);
+  ReplicaMapping m(t, MappingScheme::Default);
+  for (int i = 0; i < m.nodes_per_replica(); ++i)
+    EXPECT_EQ(m.buddy_distance(i), 4);  // Z/2 with tie-positive wrap
+}
+
+/// Fig. 6(a): on an 8-deep Z ring split 4|4, the per-ring link loads of the
+/// buddy exchange are 1,2,3,4,3,2,1 with the bisection link carrying Z/2.
+TEST(Mapping, Figure6DefaultLinkLoads) {
+  Torus3D t(1, 1, 8);
+  ReplicaMapping m(t, MappingScheme::Default);
+  net::LinkLoadModel loads(t);
+  loads.add_traffic(m.buddy_pairs(), 1.0);
+  std::vector<std::uint64_t> zplus;
+  for (int z = 0; z < 8; ++z)
+    zplus.push_back(loads.link_messages(t.link_id({0, 0, z}, Dir::ZPlus)));
+  EXPECT_EQ(zplus, (std::vector<std::uint64_t>{1, 2, 3, 4, 3, 2, 1, 0}));
+  EXPECT_EQ(loads.max_link_messages(), 4u);
+}
+
+/// Fig. 6(b): column mapping is contention-free — every link carries at
+/// most one buddy message.
+TEST(Mapping, Figure6ColumnLinkLoads) {
+  Torus3D t(8, 8, 8);
+  ReplicaMapping m(t, MappingScheme::Column);
+  net::LinkLoadModel loads(t);
+  loads.add_traffic(m.buddy_pairs(), 1.0);
+  EXPECT_EQ(loads.max_link_messages(), 1u);
+}
+
+/// Fig. 6(c): mixed mapping with chunk 2 peaks at 2 messages per link.
+TEST(Mapping, Figure6MixedLinkLoads) {
+  Torus3D t(8, 8, 8);
+  ReplicaMapping m(t, MappingScheme::Mixed, 2);
+  net::LinkLoadModel loads(t);
+  loads.add_traffic(m.buddy_pairs(), 1.0);
+  EXPECT_EQ(loads.max_link_messages(), 2u);
+}
+
+TEST(Mapping, RejectsIndivisibleShapes) {
+  EXPECT_THROW(ReplicaMapping(Torus3D(4, 4, 3), MappingScheme::Column),
+               RequireError);
+  EXPECT_THROW(ReplicaMapping(Torus3D(4, 4, 6), MappingScheme::Mixed, 2),
+               RequireError);
+}
+
+}  // namespace
+}  // namespace acr::topo
