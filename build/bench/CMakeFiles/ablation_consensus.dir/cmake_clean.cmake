@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_consensus.dir/ablation_consensus.cpp.o"
+  "CMakeFiles/ablation_consensus.dir/ablation_consensus.cpp.o.d"
+  "ablation_consensus"
+  "ablation_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_semiblocking.dir/ablation_semiblocking.cpp.o"
+  "CMakeFiles/ablation_semiblocking.dir/ablation_semiblocking.cpp.o.d"
+  "ablation_semiblocking"
+  "ablation_semiblocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_semiblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tmr.dir/ablation_tmr.cpp.o"
+  "CMakeFiles/ablation_tmr.dir/ablation_tmr.cpp.o.d"
+  "ablation_tmr"
+  "ablation_tmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

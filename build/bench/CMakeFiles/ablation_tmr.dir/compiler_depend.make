@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_tmr.
+# This may be replaced when dependencies are built.

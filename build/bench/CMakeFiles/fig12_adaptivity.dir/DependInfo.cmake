@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_adaptivity.cpp" "bench/CMakeFiles/fig12_adaptivity.dir/fig12_adaptivity.cpp.o" "gcc" "bench/CMakeFiles/fig12_adaptivity.dir/fig12_adaptivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/acr/CMakeFiles/acr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/acr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/acr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/acr_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/acr_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/pup/CMakeFiles/acr_pup.dir/DependInfo.cmake"
+  "/root/repo/build/src/checksum/CMakeFiles/acr_checksum.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/acr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/acr_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_adaptivity.dir/fig12_adaptivity.cpp.o"
+  "CMakeFiles/fig12_adaptivity.dir/fig12_adaptivity.cpp.o.d"
+  "fig12_adaptivity"
+  "fig12_adaptivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

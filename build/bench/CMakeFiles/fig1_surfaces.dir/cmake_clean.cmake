@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_surfaces.dir/fig1_surfaces.cpp.o"
+  "CMakeFiles/fig1_surfaces.dir/fig1_surfaces.cpp.o.d"
+  "fig1_surfaces"
+  "fig1_surfaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_surfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

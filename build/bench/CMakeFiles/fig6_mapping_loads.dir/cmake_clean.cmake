@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mapping_loads.dir/fig6_mapping_loads.cpp.o"
+  "CMakeFiles/fig6_mapping_loads.dir/fig6_mapping_loads.cpp.o.d"
+  "fig6_mapping_loads"
+  "fig6_mapping_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mapping_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

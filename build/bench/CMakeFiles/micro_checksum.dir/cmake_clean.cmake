@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_checksum.dir/micro_checksum.cpp.o"
+  "CMakeFiles/micro_checksum.dir/micro_checksum.cpp.o.d"
+  "micro_checksum"
+  "micro_checksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

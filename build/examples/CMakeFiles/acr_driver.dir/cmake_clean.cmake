@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_driver.dir/acr_driver.cpp.o"
+  "CMakeFiles/acr_driver.dir/acr_driver.cpp.o.d"
+  "acr_driver"
+  "acr_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_md.dir/adaptive_md.cpp.o"
+  "CMakeFiles/adaptive_md.dir/adaptive_md.cpp.o.d"
+  "adaptive_md"
+  "adaptive_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilient_jacobi.dir/resilient_jacobi.cpp.o"
+  "CMakeFiles/resilient_jacobi.dir/resilient_jacobi.cpp.o.d"
+  "resilient_jacobi"
+  "resilient_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilient_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

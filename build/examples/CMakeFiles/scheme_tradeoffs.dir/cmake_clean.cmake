@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_tradeoffs.dir/scheme_tradeoffs.cpp.o"
+  "CMakeFiles/scheme_tradeoffs.dir/scheme_tradeoffs.cpp.o.d"
+  "scheme_tradeoffs"
+  "scheme_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

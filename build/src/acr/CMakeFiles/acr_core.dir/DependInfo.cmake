@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acr/config.cpp" "src/acr/CMakeFiles/acr_core.dir/config.cpp.o" "gcc" "src/acr/CMakeFiles/acr_core.dir/config.cpp.o.d"
+  "/root/repo/src/acr/manager.cpp" "src/acr/CMakeFiles/acr_core.dir/manager.cpp.o" "gcc" "src/acr/CMakeFiles/acr_core.dir/manager.cpp.o.d"
+  "/root/repo/src/acr/node_agent.cpp" "src/acr/CMakeFiles/acr_core.dir/node_agent.cpp.o" "gcc" "src/acr/CMakeFiles/acr_core.dir/node_agent.cpp.o.d"
+  "/root/repo/src/acr/predictor.cpp" "src/acr/CMakeFiles/acr_core.dir/predictor.cpp.o" "gcc" "src/acr/CMakeFiles/acr_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/acr/runtime.cpp" "src/acr/CMakeFiles/acr_core.dir/runtime.cpp.o" "gcc" "src/acr/CMakeFiles/acr_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/acr/stats.cpp" "src/acr/CMakeFiles/acr_core.dir/stats.cpp.o" "gcc" "src/acr/CMakeFiles/acr_core.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/acr_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/acr_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/checksum/CMakeFiles/acr_checksum.dir/DependInfo.cmake"
+  "/root/repo/build/src/pup/CMakeFiles/acr_pup.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/acr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/acr_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

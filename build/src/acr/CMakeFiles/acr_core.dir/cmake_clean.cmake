@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_core.dir/config.cpp.o"
+  "CMakeFiles/acr_core.dir/config.cpp.o.d"
+  "CMakeFiles/acr_core.dir/manager.cpp.o"
+  "CMakeFiles/acr_core.dir/manager.cpp.o.d"
+  "CMakeFiles/acr_core.dir/node_agent.cpp.o"
+  "CMakeFiles/acr_core.dir/node_agent.cpp.o.d"
+  "CMakeFiles/acr_core.dir/predictor.cpp.o"
+  "CMakeFiles/acr_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/acr_core.dir/runtime.cpp.o"
+  "CMakeFiles/acr_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/acr_core.dir/stats.cpp.o"
+  "CMakeFiles/acr_core.dir/stats.cpp.o.d"
+  "libacr_core.a"
+  "libacr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

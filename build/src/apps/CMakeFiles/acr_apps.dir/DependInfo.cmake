@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/hpccg.cpp" "src/apps/CMakeFiles/acr_apps.dir/hpccg.cpp.o" "gcc" "src/apps/CMakeFiles/acr_apps.dir/hpccg.cpp.o.d"
+  "/root/repo/src/apps/iterative.cpp" "src/apps/CMakeFiles/acr_apps.dir/iterative.cpp.o" "gcc" "src/apps/CMakeFiles/acr_apps.dir/iterative.cpp.o.d"
+  "/root/repo/src/apps/jacobi3d.cpp" "src/apps/CMakeFiles/acr_apps.dir/jacobi3d.cpp.o" "gcc" "src/apps/CMakeFiles/acr_apps.dir/jacobi3d.cpp.o.d"
+  "/root/repo/src/apps/leanmd.cpp" "src/apps/CMakeFiles/acr_apps.dir/leanmd.cpp.o" "gcc" "src/apps/CMakeFiles/acr_apps.dir/leanmd.cpp.o.d"
+  "/root/repo/src/apps/minilulesh.cpp" "src/apps/CMakeFiles/acr_apps.dir/minilulesh.cpp.o" "gcc" "src/apps/CMakeFiles/acr_apps.dir/minilulesh.cpp.o.d"
+  "/root/repo/src/apps/minimd.cpp" "src/apps/CMakeFiles/acr_apps.dir/minimd.cpp.o" "gcc" "src/apps/CMakeFiles/acr_apps.dir/minimd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/acr_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/pup/CMakeFiles/acr_pup.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/checksum/CMakeFiles/acr_checksum.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/acr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/acr_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

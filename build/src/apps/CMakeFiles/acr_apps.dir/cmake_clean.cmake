@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_apps.dir/hpccg.cpp.o"
+  "CMakeFiles/acr_apps.dir/hpccg.cpp.o.d"
+  "CMakeFiles/acr_apps.dir/iterative.cpp.o"
+  "CMakeFiles/acr_apps.dir/iterative.cpp.o.d"
+  "CMakeFiles/acr_apps.dir/jacobi3d.cpp.o"
+  "CMakeFiles/acr_apps.dir/jacobi3d.cpp.o.d"
+  "CMakeFiles/acr_apps.dir/leanmd.cpp.o"
+  "CMakeFiles/acr_apps.dir/leanmd.cpp.o.d"
+  "CMakeFiles/acr_apps.dir/minilulesh.cpp.o"
+  "CMakeFiles/acr_apps.dir/minilulesh.cpp.o.d"
+  "CMakeFiles/acr_apps.dir/minimd.cpp.o"
+  "CMakeFiles/acr_apps.dir/minimd.cpp.o.d"
+  "libacr_apps.a"
+  "libacr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

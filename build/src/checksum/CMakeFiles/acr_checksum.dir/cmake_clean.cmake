@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_checksum.dir/crc32c.cpp.o"
+  "CMakeFiles/acr_checksum.dir/crc32c.cpp.o.d"
+  "CMakeFiles/acr_checksum.dir/fletcher.cpp.o"
+  "CMakeFiles/acr_checksum.dir/fletcher.cpp.o.d"
+  "libacr_checksum.a"
+  "libacr_checksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

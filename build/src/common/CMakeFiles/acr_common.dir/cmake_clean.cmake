@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_common.dir/cli.cpp.o"
+  "CMakeFiles/acr_common.dir/cli.cpp.o.d"
+  "CMakeFiles/acr_common.dir/logging.cpp.o"
+  "CMakeFiles/acr_common.dir/logging.cpp.o.d"
+  "CMakeFiles/acr_common.dir/stats.cpp.o"
+  "CMakeFiles/acr_common.dir/stats.cpp.o.d"
+  "CMakeFiles/acr_common.dir/table.cpp.o"
+  "CMakeFiles/acr_common.dir/table.cpp.o.d"
+  "libacr_common.a"
+  "libacr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/failure/adaptive_interval.cpp" "src/failure/CMakeFiles/acr_failure.dir/adaptive_interval.cpp.o" "gcc" "src/failure/CMakeFiles/acr_failure.dir/adaptive_interval.cpp.o.d"
+  "/root/repo/src/failure/distributions.cpp" "src/failure/CMakeFiles/acr_failure.dir/distributions.cpp.o" "gcc" "src/failure/CMakeFiles/acr_failure.dir/distributions.cpp.o.d"
+  "/root/repo/src/failure/estimator.cpp" "src/failure/CMakeFiles/acr_failure.dir/estimator.cpp.o" "gcc" "src/failure/CMakeFiles/acr_failure.dir/estimator.cpp.o.d"
+  "/root/repo/src/failure/injector.cpp" "src/failure/CMakeFiles/acr_failure.dir/injector.cpp.o" "gcc" "src/failure/CMakeFiles/acr_failure.dir/injector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pup/CMakeFiles/acr_pup.dir/DependInfo.cmake"
+  "/root/repo/build/src/checksum/CMakeFiles/acr_checksum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

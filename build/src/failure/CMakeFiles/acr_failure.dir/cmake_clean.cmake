@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_failure.dir/adaptive_interval.cpp.o"
+  "CMakeFiles/acr_failure.dir/adaptive_interval.cpp.o.d"
+  "CMakeFiles/acr_failure.dir/distributions.cpp.o"
+  "CMakeFiles/acr_failure.dir/distributions.cpp.o.d"
+  "CMakeFiles/acr_failure.dir/estimator.cpp.o"
+  "CMakeFiles/acr_failure.dir/estimator.cpp.o.d"
+  "CMakeFiles/acr_failure.dir/injector.cpp.o"
+  "CMakeFiles/acr_failure.dir/injector.cpp.o.d"
+  "libacr_failure.a"
+  "libacr_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

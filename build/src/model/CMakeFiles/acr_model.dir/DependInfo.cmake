@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/acr_model.cpp" "src/model/CMakeFiles/acr_model.dir/acr_model.cpp.o" "gcc" "src/model/CMakeFiles/acr_model.dir/acr_model.cpp.o.d"
+  "/root/repo/src/model/params.cpp" "src/model/CMakeFiles/acr_model.dir/params.cpp.o" "gcc" "src/model/CMakeFiles/acr_model.dir/params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/acr_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/pup/CMakeFiles/acr_pup.dir/DependInfo.cmake"
+  "/root/repo/build/src/checksum/CMakeFiles/acr_checksum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_model.dir/acr_model.cpp.o"
+  "CMakeFiles/acr_model.dir/acr_model.cpp.o.d"
+  "CMakeFiles/acr_model.dir/params.cpp.o"
+  "CMakeFiles/acr_model.dir/params.cpp.o.d"
+  "libacr_model.a"
+  "libacr_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

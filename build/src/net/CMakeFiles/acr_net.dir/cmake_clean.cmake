@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_net.dir/link_load.cpp.o"
+  "CMakeFiles/acr_net.dir/link_load.cpp.o.d"
+  "libacr_net.a"
+  "libacr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

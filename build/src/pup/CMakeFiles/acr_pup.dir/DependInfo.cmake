@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pup/checker.cpp" "src/pup/CMakeFiles/acr_pup.dir/checker.cpp.o" "gcc" "src/pup/CMakeFiles/acr_pup.dir/checker.cpp.o.d"
+  "/root/repo/src/pup/pup.cpp" "src/pup/CMakeFiles/acr_pup.dir/pup.cpp.o" "gcc" "src/pup/CMakeFiles/acr_pup.dir/pup.cpp.o.d"
+  "/root/repo/src/pup/storage.cpp" "src/pup/CMakeFiles/acr_pup.dir/storage.cpp.o" "gcc" "src/pup/CMakeFiles/acr_pup.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/checksum/CMakeFiles/acr_checksum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

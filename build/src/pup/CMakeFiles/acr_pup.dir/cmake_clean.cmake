@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_pup.dir/checker.cpp.o"
+  "CMakeFiles/acr_pup.dir/checker.cpp.o.d"
+  "CMakeFiles/acr_pup.dir/pup.cpp.o"
+  "CMakeFiles/acr_pup.dir/pup.cpp.o.d"
+  "CMakeFiles/acr_pup.dir/storage.cpp.o"
+  "CMakeFiles/acr_pup.dir/storage.cpp.o.d"
+  "libacr_pup.a"
+  "libacr_pup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_pup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

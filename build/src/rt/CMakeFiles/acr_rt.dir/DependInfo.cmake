@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/cluster.cpp" "src/rt/CMakeFiles/acr_rt.dir/cluster.cpp.o" "gcc" "src/rt/CMakeFiles/acr_rt.dir/cluster.cpp.o.d"
+  "/root/repo/src/rt/engine.cpp" "src/rt/CMakeFiles/acr_rt.dir/engine.cpp.o" "gcc" "src/rt/CMakeFiles/acr_rt.dir/engine.cpp.o.d"
+  "/root/repo/src/rt/node.cpp" "src/rt/CMakeFiles/acr_rt.dir/node.cpp.o" "gcc" "src/rt/CMakeFiles/acr_rt.dir/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pup/CMakeFiles/acr_pup.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/acr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/acr_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/checksum/CMakeFiles/acr_checksum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_rt.dir/cluster.cpp.o"
+  "CMakeFiles/acr_rt.dir/cluster.cpp.o.d"
+  "CMakeFiles/acr_rt.dir/engine.cpp.o"
+  "CMakeFiles/acr_rt.dir/engine.cpp.o.d"
+  "CMakeFiles/acr_rt.dir/node.cpp.o"
+  "CMakeFiles/acr_rt.dir/node.cpp.o.d"
+  "libacr_rt.a"
+  "libacr_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_sim.dir/lifetime.cpp.o"
+  "CMakeFiles/acr_sim.dir/lifetime.cpp.o.d"
+  "CMakeFiles/acr_sim.dir/phase_model.cpp.o"
+  "CMakeFiles/acr_sim.dir/phase_model.cpp.o.d"
+  "libacr_sim.a"
+  "libacr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acr_topology.dir/mapping.cpp.o"
+  "CMakeFiles/acr_topology.dir/mapping.cpp.o.d"
+  "CMakeFiles/acr_topology.dir/torus.cpp.o"
+  "CMakeFiles/acr_topology.dir/torus.cpp.o.d"
+  "libacr_topology.a"
+  "libacr_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acr_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

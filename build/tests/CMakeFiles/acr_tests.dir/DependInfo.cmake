@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_acr_schemes.cpp" "tests/CMakeFiles/acr_tests.dir/test_acr_schemes.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/test_acr_schemes.cpp.o.d"
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/acr_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_checksum.cpp" "tests/CMakeFiles/acr_tests.dir/test_checksum.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/test_checksum.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/acr_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/acr_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_control_flows.cpp" "tests/CMakeFiles/acr_tests.dir/test_control_flows.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/test_control_flows.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/acr_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/acr_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_failure.cpp" "tests/CMakeFiles/acr_tests.dir/test_failure.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/test_failure.cpp.o.d"
+  "/root/repo/tests/test_fuzz_faults.cpp" "tests/CMakeFiles/acr_tests.dir/test_fuzz_faults.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/test_fuzz_faults.cpp.o.d"
+  "/root/repo/tests/test_integration_smoke.cpp" "tests/CMakeFiles/acr_tests.dir/test_integration_smoke.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/test_integration_smoke.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/acr_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_more_protocol.cpp" "tests/CMakeFiles/acr_tests.dir/test_more_protocol.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/test_more_protocol.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/acr_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_predictor.cpp" "tests/CMakeFiles/acr_tests.dir/test_predictor.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/test_predictor.cpp.o.d"
+  "/root/repo/tests/test_pup.cpp" "tests/CMakeFiles/acr_tests.dir/test_pup.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/test_pup.cpp.o.d"
+  "/root/repo/tests/test_rt.cpp" "tests/CMakeFiles/acr_tests.dir/test_rt.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/test_rt.cpp.o.d"
+  "/root/repo/tests/test_semi_blocking.cpp" "tests/CMakeFiles/acr_tests.dir/test_semi_blocking.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/test_semi_blocking.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/acr_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/acr_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/acr_tests.dir/test_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/acr/CMakeFiles/acr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/acr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/acr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/acr_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/acr_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/pup/CMakeFiles/acr_pup.dir/DependInfo.cmake"
+  "/root/repo/build/src/checksum/CMakeFiles/acr_checksum.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/acr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/acr_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
