@@ -1,0 +1,160 @@
+// Microbenchmark (google-benchmark): the zero-copy checkpoint data path.
+//
+// Quantifies the three wins of the shared-buffer layer:
+//   1. arena reuse — packing into a persistent BufferBuilder vs a fresh
+//      allocation every epoch (the old Packer behavior). Allocations per
+//      epoch are reported as a counter, not inferred from timing.
+//   2. one-pass checksum — folding the Fletcher-64 buddy digest through a
+//      tee while packing vs packing and then rescanning the image (§4.2:
+//      the digest costs compute either way, but the second traversal of a
+//      cache-cold image is pure overhead).
+//   3. broadcast fan-out — sharing one payload Buffer across N recipients
+//      vs copying the payload per recipient.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "buf/buffer.h"
+#include "checksum/fletcher.h"
+#include "checksum/sink.h"
+#include "common/rng.h"
+#include "pup/pup.h"
+
+namespace {
+
+struct BigState {
+  std::vector<double> a, b, c;
+  void pup(acr::pup::Puper& p) {
+    p | a;
+    p | b;
+    p | c;
+  }
+};
+
+BigState make_state(std::size_t doubles) {
+  BigState s;
+  acr::Pcg32 rng(doubles, 5);
+  s.a.resize(doubles / 3);
+  s.b.resize(doubles / 3);
+  s.c.resize(doubles - 2 * (doubles / 3));
+  for (auto* v : {&s.a, &s.b, &s.c})
+    for (auto& x : *v) x = rng.uniform();
+  return s;
+}
+
+// --- 1. pack epoch: fresh allocation vs arena reuse -------------------------
+
+void BM_PackEpoch_FreshAlloc(benchmark::State& state) {
+  BigState s = make_state(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    // A builder per epoch: every take() hits the allocator (old behavior).
+    acr::buf::BufferBuilder builder;
+    acr::pup::Packer p(builder);
+    p | s;
+    acr::buf::Buffer image = p.take_buffer();
+    benchmark::DoNotOptimize(image.data());
+    allocs += builder.stats().arena_allocations;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 8);
+  state.counters["allocs_per_epoch"] =
+      benchmark::Counter(static_cast<double>(allocs),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_PackEpoch_FreshAlloc)->Range(1 << 10, 1 << 20);
+
+void BM_PackEpoch_ArenaReuse(benchmark::State& state) {
+  BigState s = make_state(static_cast<std::size_t>(state.range(0)));
+  // Double-buffered store, as NodeAgent keeps it: verified + candidate.
+  acr::buf::BufferBuilder builder;
+  acr::buf::Buffer verified, candidate;
+  for (auto _ : state) {
+    acr::pup::Packer p(builder);
+    p | s;
+    verified = std::move(candidate);
+    candidate = p.take_buffer();
+    benchmark::DoNotOptimize(candidate.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 8);
+  state.counters["allocs_per_epoch"] = benchmark::Counter(
+      static_cast<double>(builder.stats().arena_allocations),
+      benchmark::Counter::kAvgIterations);
+  state.counters["arena_reuses"] =
+      benchmark::Counter(static_cast<double>(builder.stats().arena_reuses),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_PackEpoch_ArenaReuse)->Range(1 << 10, 1 << 20);
+
+// --- 2. checksum epoch: pack-then-rescan vs one-pass tee --------------------
+
+void BM_ChecksumEpoch_TwoPass(benchmark::State& state) {
+  BigState s = make_state(static_cast<std::size_t>(state.range(0)));
+  acr::buf::BufferBuilder builder;
+  acr::buf::Buffer verified, candidate;
+  for (auto _ : state) {
+    acr::pup::Packer p(builder);
+    p | s;
+    verified = std::move(candidate);
+    candidate = p.take_buffer();
+    // Second traversal over the finished image (old NodeAgent::after_pack).
+    benchmark::DoNotOptimize(acr::checksum::fletcher64(candidate.bytes()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 8);
+}
+BENCHMARK(BM_ChecksumEpoch_TwoPass)->Range(1 << 10, 1 << 20);
+
+void BM_ChecksumEpoch_OnePass(benchmark::State& state) {
+  BigState s = make_state(static_cast<std::size_t>(state.range(0)));
+  acr::buf::BufferBuilder builder;
+  acr::buf::Buffer verified, candidate;
+  for (auto _ : state) {
+    acr::checksum::Fletcher64Sink sink;
+    acr::pup::Packer p(builder);
+    p.tee(&sink);
+    p | s;
+    verified = std::move(candidate);
+    candidate = p.take_buffer();
+    benchmark::DoNotOptimize(sink.digest());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 8);
+}
+BENCHMARK(BM_ChecksumEpoch_OnePass)->Range(1 << 10, 1 << 20);
+
+// --- 3. broadcast fan-out: copy per recipient vs shared Buffer --------------
+
+constexpr int kRecipients = 64;
+
+void BM_Broadcast_CopyPerRecipient(benchmark::State& state) {
+  std::vector<std::byte> payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (int i = 0; i < kRecipients; ++i) {
+      std::vector<std::byte> per_msg = payload;  // old per-message copy
+      benchmark::DoNotOptimize(per_msg.data());
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * kRecipients);
+}
+BENCHMARK(BM_Broadcast_CopyPerRecipient)->Range(1 << 6, 1 << 16);
+
+void BM_Broadcast_SharedBuffer(benchmark::State& state) {
+  std::vector<std::byte> payload(static_cast<std::size_t>(state.range(0)));
+  acr::buf::Buffer buffer = acr::buf::Buffer::copy_of(payload);
+  for (auto _ : state) {
+    for (int i = 0; i < kRecipients; ++i) {
+      acr::buf::Buffer per_msg = buffer;  // refcount bump
+      benchmark::DoNotOptimize(per_msg.data());
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * kRecipients);
+}
+BENCHMARK(BM_Broadcast_SharedBuffer)->Range(1 << 6, 1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -94,13 +94,13 @@ void Manager::request_immediate_checkpoint() {
   request_checkpoint(3, CkptPurpose::Periodic);
 }
 
-void Manager::broadcast(int replica, int tag, std::vector<std::byte> payload) {
+void Manager::broadcast(int replica, int tag, buf::Buffer payload) {
   for (int i = 0; i < env_.cluster->nodes_per_replica(); ++i)
     env_.cluster->send_from_manager(replica, i, tag, payload);
 }
 
 void Manager::broadcast_participants(std::uint8_t participants, int tag,
-                                     std::vector<std::byte> payload) {
+                                     buf::Buffer payload) {
   for (int r = 0; r < 2; ++r)
     if (participants & (1u << r)) broadcast(r, tag, payload);
 }

@@ -120,9 +120,11 @@ class Manager {
   void guard_tick();
 
   // Plumbing.
-  void broadcast(int replica, int tag, std::vector<std::byte> payload);
+  // Broadcast payloads are Buffers: every recipient's message shares the
+  // one packed allocation (refcount bump per fan-out, no per-node copy).
+  void broadcast(int replica, int tag, buf::Buffer payload);
   void broadcast_participants(std::uint8_t participants, int tag,
-                              std::vector<std::byte> payload);
+                              buf::Buffer payload);
   double now() const;
   rt::TraceLog& trace();
 

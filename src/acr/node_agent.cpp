@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "checksum/fletcher.h"
+#include "checksum/sink.h"
 #include "common/logging.h"
 #include "pup/checker.h"
 
@@ -32,15 +32,16 @@ std::vector<int> NodeAgent::child_indices() const {
 
 double NodeAgent::now() const { return env_.cluster->engine().now(); }
 
-void NodeAgent::send_to_manager(int tag, std::vector<std::byte> payload) {
+void NodeAgent::send_to_manager(int tag, buf::Buffer payload) {
   env_.cluster->send_to_manager(replica_, index_, tag, std::move(payload));
 }
 
 void NodeAgent::send_to_agent(int replica, int node_index, int tag,
-                              std::vector<std::byte> payload,
-                              double bytes_on_wire) {
+                              buf::Buffer payload, double bytes_on_wire,
+                              buf::Buffer attachment) {
   env_.cluster->send_service(replica_, index_, replica, node_index, tag,
-                             std::move(payload), bytes_on_wire);
+                             std::move(payload), bytes_on_wire,
+                             std::move(attachment));
 }
 
 void NodeAgent::start() {
@@ -329,7 +330,14 @@ void NodeAgent::handle_pack_command(const wire::EpochMsg& msg) {
 }
 
 void NodeAgent::pack_candidate() {
-  candidate_.image = node_.pack_state();
+  // Checksum mode folds the buddy digest in the SAME traversal that packs
+  // the image (§4.2): the Fletcher sink tees off the packer's byte stream,
+  // so there is no second pass over the checkpoint after packing.
+  bool stream_digest = env_.config->detection == SdcDetection::Checksum &&
+                       !single_replica_ckpt_;
+  checksum::Fletcher64Sink digest;
+  candidate_.image = node_.pack_state(stream_digest ? &digest : nullptr);
+  if (stream_digest) local_digest_ = digest.digest();
   candidate_.epoch = epoch_;
   candidate_.iteration = decided_iteration_;
   candidate_.valid = true;
@@ -365,7 +373,7 @@ void NodeAgent::after_pack() {
     return;
   }
   if (env_.config->detection == SdcDetection::Checksum) {
-    local_digest_ = checksum::fletcher64(candidate_.image.bytes());
+    // local_digest_ was folded during pack_candidate's single traversal.
     if (replica_ == 0) {
       wire::ChecksumMsg msg{epoch_, local_digest_,
                             static_cast<std::uint64_t>(
@@ -394,10 +402,11 @@ void NodeAgent::send_checkpoint_to_buddy(const StoredCheckpoint& ckpt,
   msg.iteration = ckpt.iteration;
   msg.purpose = purpose;
   msg.barrier = barrier;
-  msg.data.assign(ckpt.image.bytes().begin(), ckpt.image.bytes().end());
-  double wire_bytes = static_cast<double>(msg.data.size());
+  // The image rides as an attachment aliasing the stored checkpoint: the
+  // transfer is charged on the wire but never copied in memory.
+  double wire_bytes = static_cast<double>(ckpt.image.size());
   send_to_agent(1 - replica_, index_, wire::kBuddyCheckpoint,
-                rt::pack_payload(msg), wire_bytes);
+                rt::pack_payload(msg), wire_bytes, ckpt.image.buffer());
 }
 
 void NodeAgent::handle_buddy_checksum(const rt::Message& m) {
@@ -412,16 +421,17 @@ void NodeAgent::handle_buddy_checkpoint(const rt::Message& m) {
   auto msg = rt::unpack_payload<wire::CheckpointMsg>(m);
   if (msg.purpose == kPurposeRestore) {
     // Buddy-assisted restore (spare promotion, medium/weak forward jump).
+    // The image shares the sender's buffer; no copy is made here either.
     StoredCheckpoint incoming;
     incoming.valid = true;
     incoming.epoch = msg.epoch;
     incoming.iteration = msg.iteration;
-    incoming.image = pup::Checkpoint(std::move(msg.data));
+    incoming.image = pup::Checkpoint(m.attachment);
     restore_from(incoming, "buddy checkpoint", msg.barrier);
     return;
   }
   if (msg.epoch != epoch_) return;
-  remote_checkpoint_ = std::move(msg);
+  remote_image_ = m.attachment;
   have_remote_ = true;
   maybe_compare();
 }
@@ -443,8 +453,7 @@ void NodeAgent::maybe_compare() {
   env_.cluster->engine().schedule_after(cost, [this, inc]() {
     if (!node_.alive() || node_.incarnation() != inc) return;
     pup::CompareResult r = pup::compare_streams(
-        candidate_.image.bytes(),
-        std::span<const std::byte>(remote_checkpoint_.data),
+        candidate_.image.bytes(), remote_image_.bytes(),
         env_.config->checker);
     finish_local_verdict(r.match);
   });
@@ -510,7 +519,8 @@ void NodeAgent::restore_from(const StoredCheckpoint& ckpt, const char* why,
   ACR_REQUIRE(ckpt.valid, "restore from invalid checkpoint");
   double bytes = static_cast<double>(ckpt.image.size());
   double cost = bytes / env_.cluster->config().net.unpack_bandwidth;
-  // Copy the image if restoring from a message-borne temporary.
+  // Stage the checkpoint for the deferred restore; the image Buffer is
+  // shared, so this costs a refcount bump even for message-borne images.
   StoredCheckpoint local = ckpt;
   node_.set_gated(true);  // drop app traffic until the resume barrier opens
   env_.cluster->engine().schedule_after(cost, [this, local = std::move(local),

@@ -124,10 +124,9 @@ class NodeAgent final : public rt::NodeService {
   void heartbeat_tick();
   void watchdog_tick();
 
-  void send_to_manager(int tag, std::vector<std::byte> payload);
-  void send_to_agent(int replica, int node_index, int tag,
-                     std::vector<std::byte> payload,
-                     double bytes_on_wire = -1.0);
+  void send_to_manager(int tag, buf::Buffer payload);
+  void send_to_agent(int replica, int node_index, int tag, buf::Buffer payload,
+                     double bytes_on_wire = -1.0, buf::Buffer attachment = {});
   double now() const;
 
   AcrEnv env_;
@@ -152,10 +151,12 @@ class NodeAgent final : public rt::NodeService {
   std::uint64_t subtree_mismatches_ = 0;
   bool local_verdict_done_ = false;
 
-  // Comparison state.
+  // Comparison state. The remote image aliases the buddy's stored
+  // checkpoint buffer (zero-copy transfer); the digest is folded while
+  // packing, so checksum mode never re-reads the image.
   bool pack_complete_ = false;
   bool have_remote_ = false;
-  wire::CheckpointMsg remote_checkpoint_;
+  buf::Buffer remote_image_;
   wire::ChecksumMsg remote_checksum_;
   std::uint64_t local_digest_ = 0;
 

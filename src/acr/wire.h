@@ -120,21 +120,20 @@ struct ChecksumMsg {
   }
 };
 
+/// Buddy checkpoint header. The image itself does NOT travel inside the
+/// packed payload: it rides as the message's Buffer attachment, aliasing
+/// the sender's stored checkpoint (zero-copy; the wire cost is charged via
+/// bytes_on_wire).
 struct CheckpointMsg {
   std::uint64_t epoch = 0;
   std::uint64_t iteration = 0;
   std::uint8_t purpose = 0;   ///< 0: compare, 1: restore
   std::uint64_t barrier = 0;  ///< restore barrier id (purpose=1 only)
-  std::vector<std::byte> data;
   void pup(pup::Puper& p) {
     p | epoch;
     p | iteration;
     p | purpose;
     p | barrier;
-    std::uint64_t n = data.size();
-    p | n;
-    if (p.is_unpacking()) data.resize(n);
-    if (n > 0) p.raw_bytes(data.data(), static_cast<std::size_t>(n));
   }
 };
 

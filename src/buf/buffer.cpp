@@ -1,0 +1,93 @@
+#include "buf/buffer.h"
+
+#include <cstring>
+
+namespace acr::buf {
+
+Buffer Buffer::copy_of(std::span<const std::byte> bytes) {
+  if (bytes.empty()) return Buffer();
+  auto storage =
+      std::make_shared<Storage>(bytes.begin(), bytes.end());
+  std::size_t len = storage->size();
+  return Buffer(std::move(storage), 0, len);
+}
+
+Buffer Buffer::wrap(std::vector<std::byte> bytes) {
+  if (bytes.empty()) return Buffer();
+  auto storage = std::make_shared<Storage>(std::move(bytes));
+  std::size_t len = storage->size();
+  return Buffer(std::move(storage), 0, len);
+}
+
+Buffer Buffer::slice(std::size_t offset, std::size_t len) const {
+  ACR_REQUIRE(offset <= len_ && len <= len_ - offset,
+              "buffer slice out of range");
+  if (len == 0) return Buffer();
+  return Buffer(storage_, offset_ + offset, len);
+}
+
+std::span<std::byte> Buffer::mutable_bytes() {
+  if (!storage_) return {};
+  bool whole = offset_ == 0 && len_ == storage_->size();
+  if (storage_.use_count() != 1 || !whole) {
+    auto fresh = std::make_shared<Storage>(bytes().begin(), bytes().end());
+    storage_ = std::move(fresh);
+    offset_ = 0;
+  }
+  return std::span<std::byte>(storage_->data(), len_);
+}
+
+void BufferBuilder::ensure_arena() {
+  if (arena_) return;
+  // Reclaim a retired arena whose Buffers have all been released: the pool
+  // slot is then the storage's only owner.
+  for (auto& slot : retired_) {
+    if (slot && slot.use_count() == 1) {
+      arena_ = std::move(slot);
+      arena_->clear();  // keeps capacity
+      ++stats_.arena_reuses;
+      return;
+    }
+  }
+  arena_ = std::make_shared<Buffer::Storage>();
+  ++stats_.arena_allocations;
+}
+
+void BufferBuilder::append(const void* data, std::size_t n) {
+  if (n == 0) return;
+  ensure_arena();
+  const std::byte* p = static_cast<const std::byte*>(data);
+  arena_->insert(arena_->end(), p, p + n);
+  stats_.bytes_written += n;
+}
+
+void BufferBuilder::reserve(std::size_t n) {
+  ensure_arena();
+  arena_->reserve(n);
+}
+
+Buffer BufferBuilder::take() {
+  ++stats_.buffers_taken;
+  if (!arena_ || arena_->empty()) return Buffer();
+  std::size_t len = arena_->size();
+  Buffer out(arena_, 0, len);
+  // Park the arena for recycling. Prefer an empty slot, then a slot whose
+  // buffers are gone; otherwise drop the builder's claim on the oldest slot
+  // (the storage stays alive for as long as its Buffers need it).
+  for (auto& slot : retired_) {
+    if (!slot) {
+      slot = std::move(arena_);
+      return out;
+    }
+  }
+  for (auto& slot : retired_) {
+    if (slot.use_count() == 1) {
+      slot = std::move(arena_);
+      return out;
+    }
+  }
+  retired_.front() = std::move(arena_);
+  return out;
+}
+
+}  // namespace acr::buf

@@ -24,9 +24,11 @@ std::uint32_t fletcher32(std::span<const std::byte> data);
 /// stream plus per-segment digests when requested).
 std::uint64_t fletcher64(std::span<const std::byte> data);
 
-/// Incremental Fletcher-64. Feed blocks in order; digest() is equal to the
-/// one-shot fletcher64 over the concatenation as long as every appended
-/// block except the last is a multiple of 4 bytes.
+/// Incremental Fletcher-64. Feed blocks in order; digest() equals the
+/// one-shot fletcher64 over the concatenation for ANY block granularity —
+/// sub-word tails are carried across append() calls in a pending buffer.
+/// (The streaming pack sink relies on this: PUP records are 9-byte headers
+/// plus arbitrary payloads, so writes are rarely word-aligned.)
 class Fletcher64 {
  public:
   void append(std::span<const std::byte> block);

@@ -1,0 +1,39 @@
+// Streaming checksum sinks over the buf::Sink interface.
+//
+// Plugged into the PUP Packer as a tee, these fold the buddy digest of
+// §4.2's checksum mode *while* the checkpoint stream is produced, so a
+// checksum-mode epoch costs exactly one traversal of the application state
+// (pack and digest fused) instead of pack-then-rescan.
+#pragma once
+
+#include "buf/buffer.h"
+#include "checksum/crc32c.h"
+#include "checksum/fletcher.h"
+
+namespace acr::checksum {
+
+/// Fletcher-64 folding sink; digest() matches the one-shot fletcher64()
+/// over everything written, for any write granularity.
+class Fletcher64Sink final : public buf::Sink {
+ public:
+  void write(std::span<const std::byte> bytes) override { f_.append(bytes); }
+  std::uint64_t digest() const { return f_.digest(); }
+  std::size_t bytes_consumed() const { return f_.size(); }
+  void reset() { f_.reset(); }
+
+ private:
+  Fletcher64 f_;
+};
+
+/// CRC32-C folding sink (the §4.2 ablation's alternative digest).
+class Crc32cSink final : public buf::Sink {
+ public:
+  void write(std::span<const std::byte> bytes) override { c_.append(bytes); }
+  std::uint32_t digest() const { return c_.digest(); }
+  void reset() { c_.reset(); }
+
+ private:
+  Crc32c c_;
+};
+
+}  // namespace acr::checksum

@@ -40,14 +40,19 @@ void Sizer::record(Tag, void*, std::size_t count, std::size_t elem_size) {
 void Packer::record(Tag tag, void* data, std::size_t count,
                     std::size_t elem_size) {
   std::size_t payload = count * elem_size;
-  std::size_t base = out_.size();
-  out_.resize(base + kHeaderSize + payload);
-  std::uint8_t t = static_cast<std::uint8_t>(tag);
+  std::uint8_t header[kHeaderSize];
+  header[0] = static_cast<std::uint8_t>(tag);
   std::uint64_t n = count;
-  std::memcpy(out_.data() + base, &t, sizeof t);
-  std::memcpy(out_.data() + base + sizeof t, &n, sizeof n);
-  if (payload > 0)
-    std::memcpy(out_.data() + base + kHeaderSize, data, payload);
+  std::memcpy(header + 1, &n, sizeof n);
+  out_->append(header, kHeaderSize);
+  if (payload > 0) out_->append(data, payload);
+  if (tee_ != nullptr) {
+    tee_->write(std::span<const std::byte>(
+        reinterpret_cast<const std::byte*>(header), kHeaderSize));
+    if (payload > 0)
+      tee_->write(std::span<const std::byte>(
+          static_cast<const std::byte*>(data), payload));
+  }
 }
 
 void Unpacker::read(void* dst, std::size_t n) {

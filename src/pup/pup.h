@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "buf/buffer.h"
 #include "common/require.h"
 
 namespace acr::pup {
@@ -240,14 +241,21 @@ class Sizer final : public Puper {
   std::size_t size_ = 0;
 };
 
-/// Serialized checkpoint image. Owns its bytes.
+/// Serialized checkpoint image over shared immutable storage. Copying a
+/// Checkpoint (double-buffer promotion, restore staging, buddy transfer)
+/// shares the bytes instead of duplicating them.
 class Checkpoint {
  public:
   Checkpoint() = default;
-  explicit Checkpoint(std::vector<std::byte> data) : data_(std::move(data)) {}
+  explicit Checkpoint(buf::Buffer data) : data_(std::move(data)) {}
+  explicit Checkpoint(std::vector<std::byte> data)
+      : data_(buf::Buffer::wrap(std::move(data))) {}
 
-  std::span<const std::byte> bytes() const { return data_; }
-  std::span<std::byte> mutable_bytes() { return data_; }
+  std::span<const std::byte> bytes() const { return data_.bytes(); }
+  /// Copy-on-write mutable view (detaches from shared storage first); the
+  /// door the SDC fault injector flips bits through.
+  std::span<std::byte> mutable_bytes() { return data_.mutable_bytes(); }
+  const buf::Buffer& buffer() const { return data_; }
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
@@ -255,23 +263,34 @@ class Checkpoint {
   std::uint64_t epoch = 0;
 
  private:
-  std::vector<std::byte> data_;
+  buf::Buffer data_;
 };
 
-/// Writes the stream into a growable buffer.
+/// Writes the stream into a BufferBuilder, optionally teeing every byte
+/// into a second Sink (e.g. a streaming checksum) so digesting happens in
+/// the same traversal as packing.
 class Packer final : public Puper {
  public:
-  Packer() : Puper(Mode::Packing) {}
+  /// Self-contained: packs into a private builder (fresh arena).
+  Packer() : Puper(Mode::Packing), out_(&own_) {}
+  /// Packs into an external builder, enabling arena reuse across epochs.
+  explicit Packer(buf::BufferBuilder& out) : Puper(Mode::Packing), out_(&out) {}
 
-  Checkpoint take() { return Checkpoint(std::move(out_)); }
-  std::size_t bytes_written() const { return out_.size(); }
+  /// Also stream every packed byte into `sink` (nullptr detaches).
+  void tee(buf::Sink* sink) { tee_ = sink; }
+
+  Checkpoint take() { return Checkpoint(out_->take()); }
+  buf::Buffer take_buffer() { return out_->take(); }
+  std::size_t bytes_written() const { return out_->size(); }
 
  protected:
   void record(Tag tag, void* data, std::size_t count,
               std::size_t elem_size) override;
 
  private:
-  std::vector<std::byte> out_;
+  buf::BufferBuilder own_;
+  buf::BufferBuilder* out_;
+  buf::Sink* tee_ = nullptr;
 };
 
 /// Reads the stream back into live objects, validating record headers.

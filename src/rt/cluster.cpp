@@ -119,7 +119,7 @@ double Cluster::service_latency(bool inter_replica, double bytes) {
 }
 
 void Cluster::send_task(int replica, TaskAddr src, TaskAddr dst, int tag,
-                        std::vector<std::byte> payload) {
+                        buf::Buffer payload) {
   Message m;
   m.tag = tag;
   m.src_replica = m.dst_replica = replica;
@@ -142,9 +142,8 @@ void Cluster::send_task(int replica, TaskAddr src, TaskAddr dst, int tag,
 }
 
 void Cluster::send_service(int src_replica, int src_node, int dst_replica,
-                           int dst_node, int tag,
-                           std::vector<std::byte> payload,
-                           double bytes_on_wire) {
+                           int dst_node, int tag, buf::Buffer payload,
+                           double bytes_on_wire, buf::Buffer attachment) {
   Message m;
   m.tag = tag;
   m.src_replica = src_replica;
@@ -152,6 +151,7 @@ void Cluster::send_service(int src_replica, int src_node, int dst_replica,
   m.src = TaskAddr{src_node, kServiceSlot};
   m.dst = TaskAddr{dst_node, kServiceSlot};
   m.payload = std::move(payload);
+  m.attachment = std::move(attachment);
   double wire = bytes_on_wire >= 0.0 ? bytes_on_wire
                                      : static_cast<double>(m.size_bytes());
   double lat = service_latency(src_replica != dst_replica, wire);
@@ -164,7 +164,7 @@ void Cluster::send_service(int src_replica, int src_node, int dst_replica,
 }
 
 void Cluster::send_to_manager(int src_replica, int src_node, int tag,
-                              std::vector<std::byte> payload) {
+                              buf::Buffer payload) {
   ACR_REQUIRE(manager_hook_ != nullptr, "no manager installed");
   Message m;
   m.tag = tag;
@@ -179,8 +179,7 @@ void Cluster::send_to_manager(int src_replica, int src_node, int tag,
 }
 
 void Cluster::send_from_manager(int dst_replica, int dst_node, int tag,
-                                std::vector<std::byte> payload,
-                                double bytes_on_wire) {
+                                buf::Buffer payload, double bytes_on_wire) {
   send_service(-1, -1, dst_replica, dst_node, tag, std::move(payload),
                bytes_on_wire);
 }

@@ -124,17 +124,19 @@ class Cluster {
   int spares_remaining() const;
 
   // --- messaging ---------------------------------------------------------------
-  /// Task-to-task within a replica.
+  /// Task-to-task within a replica. The payload Buffer is shared, not
+  /// copied, into the in-flight message.
   void send_task(int replica, TaskAddr src, TaskAddr dst, int tag,
-                 std::vector<std::byte> payload);
+                 buf::Buffer payload);
   /// Node-service message (possibly across replicas). `bytes_on_wire`
   /// overrides the payload size for latency purposes — used when a
   /// checkpoint "transfer" is modelled without copying the actual bytes
   /// (checksum mode still pays only digest bytes, full mode pays the full
-  /// checkpoint size).
+  /// checkpoint size). `attachment` carries bulk bytes (a checkpoint image)
+  /// that alias the sender's buffer instead of being re-serialized.
   void send_service(int src_replica, int src_node, int dst_replica,
-                    int dst_node, int tag, std::vector<std::byte> payload,
-                    double bytes_on_wire = -1.0);
+                    int dst_node, int tag, buf::Buffer payload,
+                    double bytes_on_wire = -1.0, buf::Buffer attachment = {});
 
   /// Outstanding app (task-level) messages for a replica — the drain
   /// condition of checkpoint Phase 4.
@@ -171,11 +173,10 @@ class Cluster {
   void set_manager_hook(ManagerHook hook) { manager_hook_ = std::move(hook); }
   /// Node agent -> manager.
   void send_to_manager(int src_replica, int src_node, int tag,
-                       std::vector<std::byte> payload);
+                       buf::Buffer payload);
   /// Manager -> node agent.
   void send_from_manager(int dst_replica, int dst_node, int tag,
-                         std::vector<std::byte> payload,
-                         double bytes_on_wire = -1.0);
+                         buf::Buffer payload, double bytes_on_wire = -1.0);
 
   // --- misc ---------------------------------------------------------------------
   Pcg32 make_rng(std::uint64_t salt) const;

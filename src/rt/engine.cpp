@@ -1,19 +1,45 @@
 #include "rt/engine.h"
 
+#include <algorithm>
+
 namespace acr::rt {
 
 Engine::EventId Engine::schedule_at(double time, Handler fn) {
   ACR_REQUIRE(time >= now_, "cannot schedule in the past");
   EventId id = next_id_++;
-  queue_.push(Event{time, id, std::move(fn)});
+  heap_.push_back(Event{time, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   return id;
 }
 
+Engine::Event Engine::pop_event() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
+}
+
+void Engine::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return;  // never issued
+  cancelled_.insert(id);
+  // Ids of already-fired events accumulate here (watchdogs cancel stale
+  // timers long after they fired). Sweep once the backlog clearly exceeds
+  // what the pending set could account for.
+  if (cancelled_.size() > 64 && cancelled_.size() > 2 * heap_.size())
+    prune_cancelled();
+}
+
+void Engine::prune_cancelled() {
+  std::unordered_set<EventId> live;
+  live.reserve(cancelled_.size());
+  for (const Event& ev : heap_)
+    if (cancelled_.count(ev.id) > 0) live.insert(ev.id);
+  cancelled_ = std::move(live);
+}
+
 bool Engine::step() {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; copy the handler out before popping.
-    Event ev = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    Event ev = pop_event();
     auto it = cancelled_.find(ev.id);
     if (it != cancelled_.end()) {
       cancelled_.erase(it);
@@ -35,16 +61,16 @@ void Engine::run() {
 std::size_t Engine::run_until(double t) {
   ACR_REQUIRE(t >= now_, "cannot run backwards");
   std::size_t fired = 0;
-  while (!queue_.empty()) {
-    // Drop cancelled events first so queue_.top() is a live event and step()
-    // cannot skip past `t` to a later one.
-    auto it = cancelled_.find(queue_.top().id);
+  while (!heap_.empty()) {
+    // Drop cancelled events first so the heap front is a live event and
+    // step() cannot skip past `t` to a later one.
+    auto it = cancelled_.find(heap_.front().id);
     if (it != cancelled_.end()) {
       cancelled_.erase(it);
-      queue_.pop();
+      pop_event();
       continue;
     }
-    if (queue_.top().time > t) break;
+    if (heap_.front().time > t) break;
     if (step()) ++fired;
   }
   now_ = t;

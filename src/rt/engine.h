@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -35,7 +34,7 @@ class Engine {
 
   /// Cancel a pending event. Cancelling an already-fired or unknown id is a
   /// no-op (timers race with the events that obsolete them).
-  void cancel(EventId id) { cancelled_.insert(id); }
+  void cancel(EventId id);
 
   /// Execute the next event. Returns false when the queue is empty.
   bool step();
@@ -47,7 +46,9 @@ class Engine {
   std::size_t run_until(double t);
 
   std::size_t events_processed() const { return processed_; }
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const { return heap_.size(); }
+  /// Cancelled ids still being tracked (bounded; see prune_cancelled).
+  std::size_t cancelled_backlog() const { return cancelled_.size(); }
 
  private:
   struct Event {
@@ -62,7 +63,20 @@ class Engine {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Pop the earliest event off the heap, MOVING it out (std::pop_heap
+  /// rotates it to the back, where it is not const like priority_queue's
+  /// top()). Handlers — and any checkpoint Buffers their closures hold —
+  /// are never copied on the hot dispatch path.
+  Event pop_event();
+
+  /// Drop tracked cancellations that no pending event matches: their event
+  /// already fired (or never existed), so they can never be observed again.
+  /// Keeps cancelled_ bounded by the pending-event count even when callers
+  /// cancel() already-fired timer ids forever.
+  void prune_cancelled();
+
+  // Binary min-heap over Event (std::push_heap/pop_heap with Later).
+  std::vector<Event> heap_;
   std::unordered_set<EventId> cancelled_;
   double now_ = 0.0;
   EventId next_id_ = 1;

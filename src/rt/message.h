@@ -4,6 +4,10 @@
 // resolves a logical node index to whatever physical node currently plays
 // that role, so a spare node that replaced a crashed one transparently
 // receives its traffic — exactly the fail-over model of §2.1.
+//
+// Payloads are shared immutable Buffers: a broadcast fans one allocation
+// out to every recipient, and a buddy checkpoint travels as an attachment
+// that aliases the sender's stored image (zero-copy transfer).
 #pragma once
 
 #include <cstddef>
@@ -12,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "buf/buffer.h"
 #include "common/require.h"
 #include "pup/pup.h"
 
@@ -19,6 +24,10 @@ namespace acr::rt {
 
 /// Slot value addressing the per-node ACR service agent instead of a task.
 constexpr int kServiceSlot = -1;
+
+/// Modelled per-message envelope overhead (headers, matching metadata)
+/// charged by the latency model on top of the payload bytes.
+constexpr std::size_t kMessageHeaderBytes = 64;
 
 struct TaskAddr {
   int node_index = 0;  ///< logical node within the replica
@@ -36,18 +45,32 @@ struct Message {
   /// Sender replica's app epoch at send time (task messages only); stale
   /// epochs are dropped at delivery after a rollback.
   std::uint64_t app_epoch = 0;
-  std::vector<std::byte> payload;
+  /// Control payload (a packed wire struct). Shared, not copied, across
+  /// broadcast recipients.
+  buf::Buffer payload;
+  /// Bulk side-channel: checkpoint image bytes riding along with the
+  /// payload header. Aliases the sender's buffer — the simulated transfer
+  /// costs latency (see bytes_on_wire), not memory.
+  buf::Buffer attachment;
 
-  std::size_t size_bytes() const { return payload.size() + 64; }
+  std::size_t size_bytes() const {
+    return payload.size() + attachment.size() + kMessageHeaderBytes;
+  }
 };
+
+/// Builder used by pack_payload. Thread-local so consecutive payload packs
+/// recycle arenas once the in-flight messages holding them are delivered.
+inline buf::BufferBuilder& payload_builder() {
+  thread_local buf::BufferBuilder builder;
+  return builder;
+}
 
 /// Encode a pup-able value as a message payload.
 template <typename T>
-std::vector<std::byte> pack_payload(T& value) {
-  pup::Packer p;
+buf::Buffer pack_payload(T& value) {
+  pup::Packer p(payload_builder());
   p | value;
-  pup::Checkpoint c = p.take();
-  return std::vector<std::byte>(c.bytes().begin(), c.bytes().end());
+  return p.take_buffer();
 }
 
 /// Decode a payload produced by pack_payload.
@@ -62,7 +85,7 @@ T unpack_payload(std::span<const std::byte> payload) {
 
 template <typename T>
 T unpack_payload(const Message& m) {
-  return unpack_payload<T>(std::span<const std::byte>(m.payload));
+  return unpack_payload<T>(m.payload.bytes());
 }
 
 }  // namespace acr::rt

@@ -10,7 +10,7 @@ class NodeTaskContext final : public TaskContext {
  public:
   NodeTaskContext(Node& node, int slot) : node_(node), slot_(slot) {}
 
-  void send(TaskAddr dst, int tag, std::vector<std::byte> payload) override {
+  void send(TaskAddr dst, int tag, buf::Buffer payload) override {
     if (!node_.alive()) return;  // fail-stop: a dead node sends nothing
     node_.cluster().send_task(node_.replica(), self(), dst, tag,
                               std::move(payload));
@@ -124,8 +124,9 @@ void Node::note_progress(int slot, std::uint64_t iters) {
   if (iters > max_progress_) max_progress_ = iters;
 }
 
-pup::Checkpoint Node::pack_state() const {
-  pup::Packer p;
+pup::Checkpoint Node::pack_state(buf::Sink* digest_sink) {
+  pup::Packer p(pack_builder_);
+  p.tee(digest_sink);
   std::uint32_t count = static_cast<std::uint32_t>(tasks_.size());
   p | count;
   for (const auto& t : tasks_) t->pup(p);

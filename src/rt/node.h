@@ -82,7 +82,15 @@ class Node {
 
   // --- checkpointing -------------------------------------------------------
   /// Serialize every task into one stream (task count header + streams).
-  pup::Checkpoint pack_state() const;
+  /// Packs into the node's persistent arena (steady-state epochs reuse the
+  /// capacity retired by dropped checkpoints). When `digest_sink` is given,
+  /// every packed byte is also streamed into it — the checksum-mode buddy
+  /// digest comes out of the same traversal that produced the image.
+  pup::Checkpoint pack_state(buf::Sink* digest_sink = nullptr);
+  /// Arena-reuse / allocation counters of the pack builder (bench + tests).
+  const buf::BufferBuilder::Stats& pack_stats() const {
+    return pack_builder_.stats();
+  }
   /// Restore every task from `c`. Bumps the incarnation so stale compute
   /// continuations and timers die. Does NOT resume the tasks.
   void restore_state(const pup::Checkpoint& c);
@@ -117,6 +125,8 @@ class Node {
   std::vector<std::uint64_t> progress_;
   std::uint64_t max_progress_ = 0;
   std::unique_ptr<NodeService> service_;
+  /// Checkpoint pack arena, reused across epochs (see pack_state).
+  buf::BufferBuilder pack_builder_;
 };
 
 }  // namespace acr::rt

@@ -33,8 +33,9 @@ class TaskContext {
  public:
   virtual ~TaskContext() = default;
 
-  /// Send to another task in the same replica.
-  virtual void send(TaskAddr dst, int tag, std::vector<std::byte> payload) = 0;
+  /// Send to another task in the same replica. The payload Buffer is
+  /// shared into the in-flight message, never copied.
+  virtual void send(TaskAddr dst, int tag, buf::Buffer payload) = 0;
 
   /// Charge `seconds` of virtual compute time, then run `fn` (unless the
   /// node dies or rolls back in between).

@@ -86,5 +86,48 @@ TEST(Engine, RejectsSchedulingInThePast) {
   EXPECT_THROW(e.schedule_at(1.0, [] {}), RequireError);
 }
 
+TEST(Engine, DispatchNeverCopiesHandlers) {
+  // Handlers close over checkpoint Buffers and other heavyweight state;
+  // the heap must move them through scheduling and dispatch, not copy.
+  struct CopyProbe {
+    int* copies;
+    explicit CopyProbe(int* c) : copies(c) {}
+    CopyProbe(const CopyProbe& o) : copies(o.copies) { ++*copies; }
+    CopyProbe(CopyProbe&& o) noexcept : copies(o.copies) {}
+  };
+  Engine e;
+  int copies = 0;
+  int fired = 0;
+  for (double t : {3.0, 1.0, 2.0, 1.5})
+    e.schedule_at(t, [p = CopyProbe(&copies), &fired] {
+      (void)p;
+      ++fired;
+    });
+  int copies_after_scheduling = copies;
+  e.run();
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(copies, copies_after_scheduling);  // zero copies during dispatch
+}
+
+TEST(Engine, CancelBacklogStaysBoundedForFiredIds) {
+  // Watchdogs cancel() timer ids that often fired long ago. The tracked-id
+  // set must not grow without bound over a long run.
+  Engine e;
+  std::vector<Engine::EventId> ids;
+  for (int i = 0; i < 500; ++i)
+    ids.push_back(e.schedule_at(static_cast<double>(i), [] {}));
+  e.run();  // everything fires; all these ids are now stale
+  for (Engine::EventId id : ids) e.cancel(id);
+  EXPECT_LE(e.cancelled_backlog(), 65u);  // pruned against empty queue
+
+  // Cancellation of genuinely pending events still works after pruning.
+  bool fired = false;
+  auto pending = e.schedule_after(1.0, [&] { fired = true; });
+  for (Engine::EventId id : ids) e.cancel(id);  // more stale churn
+  e.cancel(pending);
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
 }  // namespace
 }  // namespace acr::rt
