@@ -11,6 +11,7 @@
 //
 //   ./build/examples/acr_driver --help
 #include <cstdio>
+#include <utility>
 
 #include "acr/runtime.h"
 #include "acr/stats.h"
@@ -37,6 +38,11 @@ int main(int argc, char** argv) {
   double sdc_fraction = 0.3;
   double weibull_shape = 0.0;
   double predictor_recall = 0.0;
+  double net_loss = 0.0;
+  double net_dup = 0.0;
+  double net_reorder = 0.0;
+  double net_corrupt = 0.0;
+  int net_retry_budget = 10;
   std::uint64_t seed = 1;
   bool trace = false;
 
@@ -62,9 +68,36 @@ int main(int argc, char** argv) {
                  "use a Weibull failure process with this shape (0 = Poisson)");
   cli.add_double("predictor-recall", &predictor_recall,
                  "enable the failure predictor with this recall (0 = off)");
+  cli.add_double("net-loss", &net_loss,
+                 "per-frame network drop probability [0,1]");
+  cli.add_double("net-dup", &net_dup,
+                 "per-frame network duplication probability [0,1]");
+  cli.add_double("net-reorder", &net_reorder,
+                 "per-frame extra-latency (reordering) probability [0,1]");
+  cli.add_double("net-corrupt", &net_corrupt,
+                 "per-frame in-flight bit-flip probability [0,1]");
+  cli.add_int("net-retry-budget", &net_retry_budget,
+              "retransmits per frame before a link is declared failed");
   cli.add_uint64("seed", &seed, "master random seed");
   cli.add_flag("trace", &trace, "print the full protocol event trace");
   if (!cli.parse(argc, argv)) return 2;
+
+  const std::pair<const char*, double> net_rates[] = {
+      {"net-loss", net_loss},
+      {"net-dup", net_dup},
+      {"net-reorder", net_reorder},
+      {"net-corrupt", net_corrupt}};
+  for (const auto& [name, rate] : net_rates) {
+    if (rate < 0.0 || rate > 1.0) {
+      std::fprintf(stderr, "error: --%s=%g outside [0, 1]\n", name, rate);
+      return 2;
+    }
+  }
+  if (net_retry_budget < 1) {
+    std::fprintf(stderr, "error: --net-retry-budget=%d must be >= 1\n",
+                 net_retry_budget);
+    return 2;
+  }
 
   // --- assemble the configuration -------------------------------------------
   AcrConfig ac;
@@ -86,6 +119,11 @@ int main(int argc, char** argv) {
   cc.nodes_per_replica = nodes;
   cc.spare_nodes = spares;
   cc.seed = seed;
+  cc.net_faults.drop_rate = net_loss;
+  cc.net_faults.dup_rate = net_dup;
+  cc.net_faults.reorder_rate = net_reorder;
+  cc.net_faults.corrupt_rate = net_corrupt;
+  cc.reliable.retry_budget = net_retry_budget;
 
   AcrRuntime runtime(ac, cc);
 
@@ -169,6 +207,21 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(s.sdc_injected),
       static_cast<unsigned long long>(s.sdc_detected),
       static_cast<unsigned long long>(s.scratch_restarts));
+  // Only printed when network fault injection is on: keeps the clean-network
+  // output byte-identical to builds that predate the reliable transport.
+  if (runtime.cluster().net_faults_enabled())
+    std::printf(
+        "network: frames=%llu dropped=%llu duplicated=%llu corrupted=%llu  "
+        "retransmits=%llu crc drops=%llu stale-epoch drops=%llu  "
+        "link failures=%llu\n",
+        static_cast<unsigned long long>(s.net_frames),
+        static_cast<unsigned long long>(s.net_drops),
+        static_cast<unsigned long long>(s.net_duplicates),
+        static_cast<unsigned long long>(s.net_corruptions),
+        static_cast<unsigned long long>(s.net_retransmits),
+        static_cast<unsigned long long>(s.net_crc_drops),
+        static_cast<unsigned long long>(s.net_stale_epoch_drops),
+        static_cast<unsigned long long>(s.net_link_failures));
 
   TraceSummary ts = summarize_trace(runtime.trace());
   RunningStats consensus = ts.consensus_latency_stats();

@@ -33,6 +33,10 @@ double Manager::current_interval() const {
 void Manager::start() {
   env_.cluster->set_manager_hook(
       [this](const rt::Message& m) { on_message(m); });
+  env_.cluster->set_link_failure_hook(
+      [this](int sr, int sn, int dr, int dn) {
+        handle_link_failure(sr, sn, dr, dn);
+      });
   if (env_.config->periodic_checkpoints &&
       env_.config->scheme != ResilienceScheme::HardOnly)
     schedule_tick();
@@ -94,15 +98,17 @@ void Manager::request_immediate_checkpoint() {
   request_checkpoint(3, CkptPurpose::Periodic);
 }
 
-void Manager::broadcast(int replica, int tag, buf::Buffer payload) {
+void Manager::broadcast(int replica, int tag, buf::Buffer payload,
+                        double bytes_on_wire) {
   for (int i = 0; i < env_.cluster->nodes_per_replica(); ++i)
-    env_.cluster->send_from_manager(replica, i, tag, payload);
+    env_.cluster->send_from_manager(replica, i, tag, payload, bytes_on_wire);
 }
 
 void Manager::broadcast_participants(std::uint8_t participants, int tag,
-                                     buf::Buffer payload) {
+                                     buf::Buffer payload,
+                                     double bytes_on_wire) {
   for (int r = 0; r < 2; ++r)
-    if (participants & (1u << r)) broadcast(r, tag, payload);
+    if (participants & (1u << r)) broadcast(r, tag, payload, bytes_on_wire);
 }
 
 // ---------------------------------------------------------------------------
@@ -116,11 +122,11 @@ void Manager::request_checkpoint(std::uint8_t participants,
   c.epoch = next_epoch_++;
   c.participants = participants;
   c.purpose = purpose;
-  c.quiesced_pending = std::popcount(participants);
-  c.ready_pending = c.quiesced_pending;
-  c.packdone_pending = purpose == CkptPurpose::Recovery
-                           ? env_.cluster->nodes_per_replica()
-                           : 0;
+  c.quiesced_target = std::popcount(participants);
+  c.ready_target = c.quiesced_target;
+  c.packdone_target = purpose == CkptPurpose::Recovery
+                          ? env_.cluster->nodes_per_replica()
+                          : 0;
   ckpt_ = c;
   trace().record(now(), rt::TraceKind::CheckpointRequested, -1, -1,
                  "epoch=" + std::to_string(c.epoch) +
@@ -130,10 +136,15 @@ void Manager::request_checkpoint(std::uint8_t participants,
                          rt::pack_payload(msg));
 }
 
-void Manager::handle_replica_quiesced(const wire::ProgressMsg& msg) {
+void Manager::handle_replica_quiesced(const wire::ProgressMsg& msg,
+                                      int src_replica) {
   if (!ckpt_ || msg.epoch != ckpt_->epoch) return;
+  if (!(ckpt_->participants & (1u << src_replica))) return;
+  if (!ckpt_->quiesced_replicas.insert(src_replica).second) return;  // dup
   ckpt_->max_progress = std::max(ckpt_->max_progress, msg.max_progress);
-  if (--ckpt_->quiesced_pending > 0) return;
+  if (static_cast<int>(ckpt_->quiesced_replicas.size()) <
+      ckpt_->quiesced_target)
+    return;
   trace().record(now(), rt::TraceKind::CheckpointIterationDecided, -1, -1,
                  "iteration=" + std::to_string(ckpt_->max_progress));
   wire::IterationMsg decided{ckpt_->epoch, ckpt_->max_progress};
@@ -141,9 +152,13 @@ void Manager::handle_replica_quiesced(const wire::ProgressMsg& msg) {
                          rt::pack_payload(decided));
 }
 
-void Manager::handle_replica_ready(const wire::ReadyMsg& msg) {
+void Manager::handle_replica_ready(const wire::ReadyMsg& msg,
+                                   int src_replica) {
   if (!ckpt_ || msg.epoch != ckpt_->epoch) return;
-  if (--ckpt_->ready_pending > 0) return;
+  if (!(ckpt_->participants & (1u << src_replica))) return;
+  if (!ckpt_->ready_replicas.insert(src_replica).second) return;  // dup
+  if (static_cast<int>(ckpt_->ready_replicas.size()) < ckpt_->ready_target)
+    return;
   try_start_pack();
 }
 
@@ -220,18 +235,20 @@ void Manager::rollback_sdc() {
   // the world once every node reports in.
   ActiveRecovery barrier;
   barrier.crashed_replica = -1;
-  barrier.restore_pending = 2 * env_.cluster->nodes_per_replica();
+  barrier.restore_target = 2 * env_.cluster->nodes_per_replica();
   barrier.restored_replicas = 3;
   barrier.counts_as_recovery = false;
   barrier.barrier = barrier_id;
   recovery_ = barrier;
 }
 
-void Manager::handle_pack_done(const wire::EpochMsg& msg) {
+void Manager::handle_pack_done(const wire::EpochMsg& msg, int src_node) {
   if (!ckpt_ || msg.epoch != ckpt_->epoch ||
       ckpt_->purpose != CkptPurpose::Recovery)
     return;
-  if (--ckpt_->packdone_pending > 0) return;
+  if (!ckpt_->packdone_nodes.insert(src_node).second) return;  // dup
+  if (static_cast<int>(ckpt_->packdone_nodes.size()) < ckpt_->packdone_target)
+    return;
   // Healthy replica fully packed. Ship every node's fresh checkpoint to its
   // buddy in the crashed replica, commit it on the healthy side, and wait
   // for the crashed side to restore.
@@ -271,8 +288,14 @@ void Manager::handle_suspect_role(int replica, int node_index) {
   if (env_.config->adaptive) adaptive_.on_failure(now());
 
   if (ckpt_) {
-    // A death mid-checkpoint wedges the reductions; abort and resume.
-    broadcast_participants(ckpt_->participants, wire::kAbortConsensus, {});
+    // A death mid-checkpoint wedges the reductions; abort and resume. The
+    // abort names its epoch so stragglers cannot cancel a later round. The
+    // epoch tag rides in the frame header on a real wire, so the abort is
+    // charged at header-only cost.
+    wire::EpochMsg abort{ckpt_->epoch};
+    broadcast_participants(ckpt_->participants, wire::kAbortConsensus,
+                           rt::pack_payload(abort),
+                           static_cast<double>(rt::kMessageHeaderBytes));
     bool was_recovery = ckpt_->purpose == CkptPurpose::Recovery;
     if (final_verify_epoch_ == ckpt_->epoch) final_verify_epoch_ = 0;
     ckpt_.reset();
@@ -345,7 +368,7 @@ void Manager::start_recovery(int replica, int node_index) {
       ActiveRecovery rec;
       rec.scheme = ResilienceScheme::Strong;
       rec.crashed_replica = replica;
-      rec.restore_pending = env_.cluster->nodes_per_replica();
+      rec.restore_target = env_.cluster->nodes_per_replica();
       rec.restored_replicas = static_cast<std::uint8_t>(1u << replica);
       rec.barrier = barrier;
       recovery_ = rec;
@@ -368,7 +391,7 @@ void Manager::begin_recovery_checkpoint(int crashed_replica) {
   ActiveRecovery rec;
   rec.scheme = env_.config->scheme;
   rec.crashed_replica = crashed_replica;
-  rec.restore_pending = env_.cluster->nodes_per_replica();
+  rec.restore_target = env_.cluster->nodes_per_replica();
   rec.restored_replicas = static_cast<std::uint8_t>(1u << crashed_replica);
   rec.barrier = next_barrier_++;
   recovery_ = rec;
@@ -377,10 +400,35 @@ void Manager::begin_recovery_checkpoint(int crashed_replica) {
   request_checkpoint(healthy_mask, CkptPurpose::Recovery);
 }
 
-void Manager::handle_restore_done(const wire::BarrierMsg& msg) {
+void Manager::handle_restore_done(const wire::BarrierMsg& msg,
+                                  int src_replica, int src_node) {
   if (!recovery_ || msg.barrier != recovery_->barrier) return;
-  if (--recovery_->restore_pending > 0) return;
+  if (!recovery_->restored_nodes.insert({src_replica, src_node}).second)
+    return;  // duplicate report
+  if (static_cast<int>(recovery_->restored_nodes.size()) <
+      recovery_->restore_target)
+    return;
   finish_recovery();
+}
+
+void Manager::handle_link_failure(int src_replica, int src_node,
+                                  int dst_replica, int dst_node) {
+  if (complete_ || failed_) return;
+  // The cluster reports this only for live-live links, but liveness may
+  // have changed while the report was in flight; a dead endpoint means the
+  // ordinary failure path (heartbeats / RAS sweep) owns the recovery.
+  auto alive = [this](int r, int i) {
+    return r < 0 || env_.cluster->role_alive(r, i);
+  };
+  if (!alive(src_replica, src_node) || !alive(dst_replica, dst_node)) return;
+  log_warn("acr.manager") << "link (" << src_replica << "," << src_node
+                          << ") -> (" << dst_replica << "," << dst_node
+                          << ") exhausted its retry budget; degrading to "
+                             "scratch restart";
+  if (env_.config->adaptive) adaptive_.on_failure(now());
+  recovery_.reset();
+  ckpt_.reset();
+  restart_from_scratch();
 }
 
 void Manager::finish_recovery() {
@@ -464,7 +512,7 @@ void Manager::escalate_rollback_all() {
   ActiveRecovery rec;
   rec.scheme = env_.config->scheme;
   rec.crashed_replica = -1;
-  rec.restore_pending = restores;
+  rec.restore_target = restores;
   rec.restored_replicas = 3;
   rec.barrier = barrier_id;
   recovery_ = rec;
@@ -562,18 +610,21 @@ void Manager::handle_node_done(const rt::Message& m) {
 void Manager::on_message(const rt::Message& m) {
   switch (m.tag) {
     case wire::kReplicaQuiesced:
-      return handle_replica_quiesced(
-          rt::unpack_payload<wire::ProgressMsg>(m));
+      return handle_replica_quiesced(rt::unpack_payload<wire::ProgressMsg>(m),
+                                     m.src_replica);
     case wire::kReplicaReady:
-      return handle_replica_ready(rt::unpack_payload<wire::ReadyMsg>(m));
+      return handle_replica_ready(rt::unpack_payload<wire::ReadyMsg>(m),
+                                  m.src_replica);
     case wire::kReplicaVerdict:
       return handle_verdict(rt::unpack_payload<wire::VerdictMsg>(m));
     case wire::kPackDone:
-      return handle_pack_done(rt::unpack_payload<wire::EpochMsg>(m));
+      return handle_pack_done(rt::unpack_payload<wire::EpochMsg>(m),
+                              m.src.node_index);
     case wire::kSuspectDead:
       return handle_suspect(rt::unpack_payload<wire::SuspectMsg>(m));
     case wire::kRestoreDone:
-      return handle_restore_done(rt::unpack_payload<wire::BarrierMsg>(m));
+      return handle_restore_done(rt::unpack_payload<wire::BarrierMsg>(m),
+                                 m.src_replica, m.src.node_index);
     case wire::kNeedBuddyRestore: {
       // A checkpoint-less node was told to roll back: route its buddy's
       // verified image to it under the same barrier.

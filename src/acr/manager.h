@@ -58,16 +58,23 @@ class Manager {
     std::uint64_t epoch = 0;
     std::uint8_t participants = 3;
     CkptPurpose purpose = CkptPurpose::Periodic;
-    int quiesced_pending = 0;
-    int ready_pending = 0;
-    int packdone_pending = 0;  ///< recovery checkpoints only
+    // Contributions are tracked by sender identity, not by countdown: a
+    // duplicated or replayed report can never double-decrement a counter
+    // and fire a phase transition early.
+    int quiesced_target = 0;
+    std::set<int> quiesced_replicas;
+    int ready_target = 0;
+    std::set<int> ready_replicas;
+    int packdone_target = 0;  ///< recovery checkpoints only
+    std::set<int> packdone_nodes;
     std::uint64_t max_progress = 0;
   };
 
   struct ActiveRecovery {
     ResilienceScheme scheme = ResilienceScheme::Strong;
     int crashed_replica = 0;
-    int restore_pending = 0;
+    int restore_target = 0;
+    std::set<std::pair<int, int>> restored_nodes;
     /// Restore wave this recovery waits on; stale kRestoreDone from an
     /// abandoned wave (re-escalation) must not count.
     std::uint64_t barrier = 0;
@@ -81,13 +88,14 @@ class Manager {
 
   void on_message(const rt::Message& m);
 
-  // Checkpoint path.
+  // Checkpoint path. Reports carry the sender's identity so contributions
+  // are idempotent under a duplicating/reordering network.
   void request_checkpoint(std::uint8_t participants, CkptPurpose purpose);
-  void handle_replica_quiesced(const wire::ProgressMsg& msg);
-  void handle_replica_ready(const wire::ReadyMsg& msg);
+  void handle_replica_quiesced(const wire::ProgressMsg& msg, int src_replica);
+  void handle_replica_ready(const wire::ReadyMsg& msg, int src_replica);
   void try_start_pack();
   void handle_verdict(const wire::VerdictMsg& msg);
-  void handle_pack_done(const wire::EpochMsg& msg);
+  void handle_pack_done(const wire::EpochMsg& msg, int src_node);
   void commit_checkpoint();
   void rollback_sdc();
 
@@ -96,8 +104,14 @@ class Manager {
   void handle_suspect_role(int replica, int node_index);
   void start_recovery(int replica, int node_index);
   void begin_recovery_checkpoint(int crashed_replica);
-  void handle_restore_done(const wire::BarrierMsg& msg);
+  void handle_restore_done(const wire::BarrierMsg& msg, int src_replica,
+                           int src_node);
   void finish_recovery();
+  /// Degradation path: a reliable link between two live endpoints exhausted
+  /// its retry budget. Per-link protocol state is unrecoverable, so the job
+  /// falls back to a scratch restart (reported out-of-band by the RAS).
+  void handle_link_failure(int src_replica, int src_node, int dst_replica,
+                           int dst_node);
   void escalate_rollback_all();
   void restart_from_scratch();
   bool promote_and_install(int replica, int node_index);
@@ -122,9 +136,13 @@ class Manager {
   // Plumbing.
   // Broadcast payloads are Buffers: every recipient's message shares the
   // one packed allocation (refcount bump per fan-out, no per-node copy).
-  void broadcast(int replica, int tag, buf::Buffer payload);
+  // `bytes_on_wire` overrides the modelled wire size (default: computed
+  // from the payload).
+  void broadcast(int replica, int tag, buf::Buffer payload,
+                 double bytes_on_wire = -1.0);
   void broadcast_participants(std::uint8_t participants, int tag,
-                              buf::Buffer payload);
+                              buf::Buffer payload,
+                              double bytes_on_wire = -1.0);
   double now() const;
   rt::TraceLog& trace();
 

@@ -62,6 +62,8 @@ void NodeAgent::start() {
 void NodeAgent::reset_for_restart() {
   phase_ = Phase::Idle;
   epoch_ = 0;
+  progress_stash_.clear();
+  last_restore_barrier_ = 0;
   awaiting_go_ = false;
   node_.set_gated(false);
   verified_ = StoredCheckpoint{};
@@ -166,10 +168,13 @@ void NodeAgent::refresh_done_from_tasks() {
 // ---------------------------------------------------------------------------
 
 void NodeAgent::on_service_message(const rt::Message& m) {
-  // Any traffic from a watched peer proves it alive.
+  // Any traffic from a watched peer proves it alive — and clears a standing
+  // suspicion (under network loss, a delayed heartbeat burst must not leave
+  // a live peer permanently suspected).
   for (Peer& p : peers_) {
     if (m.src_replica == p.replica && m.src.node_index == p.node_index) {
       p.last_heard = now();
+      p.suspected = false;
       break;
     }
   }
@@ -195,7 +200,7 @@ void NodeAgent::on_service_message(const rt::Message& m) {
     case wire::kHalt:
       return handle_halt();
     case wire::kAbortConsensus:
-      return handle_abort();
+      return handle_abort(rt::unpack_payload<wire::EpochMsg>(m));
     case wire::kResume:
       return handle_resume();
     case wire::kSendVerifiedToBuddy:
@@ -203,11 +208,14 @@ void NodeAgent::on_service_message(const rt::Message& m) {
     case wire::kSendCandidateToBuddy:
       return handle_send_to_buddy(m, /*candidate=*/true);
     case wire::kTreeProgress:
-      return handle_tree_progress(rt::unpack_payload<wire::ProgressMsg>(m));
+      return handle_tree_progress(rt::unpack_payload<wire::ProgressMsg>(m),
+                                  m.src.node_index);
     case wire::kTreeReady:
-      return handle_tree_ready(rt::unpack_payload<wire::ReadyMsg>(m));
+      return handle_tree_ready(rt::unpack_payload<wire::ReadyMsg>(m),
+                               m.src.node_index);
     case wire::kTreeVerdict:
-      return handle_tree_verdict(rt::unpack_payload<wire::VerdictMsg>(m));
+      return handle_tree_verdict(rt::unpack_payload<wire::VerdictMsg>(m),
+                                 m.src.node_index);
     case wire::kBuddyCheckpoint:
       return handle_buddy_checkpoint(m);
     case wire::kBuddyChecksum:
@@ -222,7 +230,9 @@ void NodeAgent::on_service_message(const rt::Message& m) {
 // ---------------------------------------------------------------------------
 
 void NodeAgent::handle_checkpoint_request(const wire::CkptRequestMsg& msg) {
-  if (msg.epoch <= epoch_ && phase_ != Phase::Idle) return;  // stale/duplicate
+  // Epochs only move forward: a request at or below the current epoch is a
+  // duplicate or a straggler from an aborted round, never a new consensus.
+  if (msg.epoch <= epoch_) return;
   epoch_ = msg.epoch;
   participants_ = msg.participants;
   single_replica_ckpt_ = participants_ != 3;
@@ -234,9 +244,10 @@ void NodeAgent::handle_checkpoint_request(const wire::CkptRequestMsg& msg) {
   local_verdict_done_ = false;
   subtree_match_ = true;
   subtree_mismatches_ = 0;
-  progress_pending_children_ = static_cast<int>(child_indices().size());
-  ready_pending_children_ = progress_pending_children_;
-  verdict_pending_children_ = progress_pending_children_;
+  num_children_ = static_cast<int>(child_indices().size());
+  progress_children_.clear();
+  ready_children_.clear();
+  verdict_children_.clear();
 
   // Fig. 3 phase 2: the node's contribution to the max-progress reduction.
   // A running task is somewhere inside iteration progress+1 — it may
@@ -255,11 +266,24 @@ void NodeAgent::handle_checkpoint_request(const wire::CkptRequestMsg& msg) {
   }
   subtree_max_progress_ = floor;
   local_quiesced_ = true;
+  // Replay any child contributions that overtook this request (a child's
+  // own request arrived earlier and its report beat ours here).
+  if (auto it = progress_stash_.find(epoch_); it != progress_stash_.end()) {
+    for (const auto& [child, progress] : it->second) {
+      subtree_max_progress_ = std::max(subtree_max_progress_, progress);
+      progress_children_.insert(child);
+    }
+  }
+  // Stashes at or below this epoch can never be consumed again.
+  progress_stash_.erase(progress_stash_.begin(),
+                        progress_stash_.upper_bound(epoch_));
   maybe_send_progress_up();
 }
 
 void NodeAgent::maybe_send_progress_up() {
-  if (!local_quiesced_ || progress_pending_children_ > 0) return;
+  if (!local_quiesced_ ||
+      static_cast<int>(progress_children_.size()) < num_children_)
+    return;
   wire::ProgressMsg msg{epoch_, subtree_max_progress_};
   if (is_root()) {
     send_to_manager(wire::kReplicaQuiesced, rt::pack_payload(msg));
@@ -269,10 +293,17 @@ void NodeAgent::maybe_send_progress_up() {
   }
 }
 
-void NodeAgent::handle_tree_progress(const wire::ProgressMsg& msg) {
+void NodeAgent::handle_tree_progress(const wire::ProgressMsg& msg, int child) {
+  if (msg.epoch > epoch_) {
+    // The child heard about epoch msg.epoch before we did: park its
+    // contribution until our own kCheckpointRequest lands.
+    auto& slot = progress_stash_[msg.epoch][child];
+    slot = std::max(slot, msg.max_progress);
+    return;
+  }
   if (msg.epoch != epoch_ || phase_ != Phase::Quiesce) return;
+  if (!progress_children_.insert(child).second) return;  // duplicate
   subtree_max_progress_ = std::max(subtree_max_progress_, msg.max_progress);
-  --progress_pending_children_;
   maybe_send_progress_up();
 }
 
@@ -303,7 +334,9 @@ void NodeAgent::check_ready() {
 }
 
 void NodeAgent::maybe_send_ready_up() {
-  if (!local_ready_ || ready_pending_children_ > 0) return;
+  if (!local_ready_ ||
+      static_cast<int>(ready_children_.size()) < num_children_)
+    return;
   wire::ReadyMsg msg{epoch_};
   if (is_root()) {
     send_to_manager(wire::kReplicaReady, rt::pack_payload(msg));
@@ -313,9 +346,12 @@ void NodeAgent::maybe_send_ready_up() {
   }
 }
 
-void NodeAgent::handle_tree_ready(const wire::ReadyMsg& msg) {
+void NodeAgent::handle_tree_ready(const wire::ReadyMsg& msg, int child) {
+  // Unlike progress, readiness cannot arrive early: a child only reports
+  // after kIterationDecided, which the manager sends once every root has
+  // contributed — requiring this node's own request to have been handled.
   if (msg.epoch != epoch_) return;
-  --ready_pending_children_;
+  if (!ready_children_.insert(child).second) return;  // duplicate
   maybe_send_ready_up();
 }
 
@@ -420,6 +456,7 @@ void NodeAgent::handle_buddy_checksum(const rt::Message& m) {
 void NodeAgent::handle_buddy_checkpoint(const rt::Message& m) {
   auto msg = rt::unpack_payload<wire::CheckpointMsg>(m);
   if (msg.purpose == kPurposeRestore) {
+    if (msg.barrier <= last_restore_barrier_) return;  // wave already taken
     // Buddy-assisted restore (spare promotion, medium/weak forward jump).
     // The image shares the sender's buffer; no copy is made here either.
     StoredCheckpoint incoming;
@@ -467,7 +504,9 @@ void NodeAgent::finish_local_verdict(bool match) {
 }
 
 void NodeAgent::maybe_send_verdict_up() {
-  if (!local_verdict_done_ || verdict_pending_children_ > 0) return;
+  if (!local_verdict_done_ ||
+      static_cast<int>(verdict_children_.size()) < num_children_)
+    return;
   wire::VerdictMsg msg{epoch_, static_cast<std::uint8_t>(subtree_match_),
                        subtree_mismatches_};
   if (is_root()) {
@@ -478,11 +517,11 @@ void NodeAgent::maybe_send_verdict_up() {
   }
 }
 
-void NodeAgent::handle_tree_verdict(const wire::VerdictMsg& msg) {
+void NodeAgent::handle_tree_verdict(const wire::VerdictMsg& msg, int child) {
   if (msg.epoch != epoch_) return;
+  if (!verdict_children_.insert(child).second) return;  // duplicate
   subtree_match_ = subtree_match_ && (msg.match != 0);
   subtree_mismatches_ += msg.mismatched_nodes;
-  --verdict_pending_children_;
   maybe_send_verdict_up();
 }
 
@@ -491,6 +530,10 @@ void NodeAgent::handle_tree_verdict(const wire::VerdictMsg& msg) {
 // ---------------------------------------------------------------------------
 
 void NodeAgent::handle_commit(const wire::EpochMsg& msg) {
+  // Only the consensus round this agent is actually in may be committed: a
+  // freshly promoted spare (epoch 0) or a node mid-restore must not be
+  // unpaused by a commit addressed to its predecessor's round.
+  if (msg.epoch != epoch_ || awaiting_go_) return;
   if (candidate_.valid && candidate_.epoch == msg.epoch) {
     verified_ = std::move(candidate_);
     candidate_ = StoredCheckpoint{};
@@ -500,6 +543,7 @@ void NodeAgent::handle_commit(const wire::EpochMsg& msg) {
 }
 
 void NodeAgent::handle_rollback(const wire::RestoreCmdMsg& msg, bool sdc) {
+  if (msg.barrier <= last_restore_barrier_) return;  // wave already taken
   if (!verified_.valid) {
     // A freshly promoted spare caught in a wider rollback before its first
     // restore landed: it holds no checkpoint of its own. Stay gated and ask
@@ -517,6 +561,9 @@ void NodeAgent::handle_rollback(const wire::RestoreCmdMsg& msg, bool sdc) {
 void NodeAgent::restore_from(const StoredCheckpoint& ckpt, const char* why,
                              std::uint64_t barrier) {
   ACR_REQUIRE(ckpt.valid, "restore from invalid checkpoint");
+  // Record the wave at initiation so a duplicated restore command (or a
+  // double-routed buddy image) for the same barrier is a no-op.
+  last_restore_barrier_ = std::max(last_restore_barrier_, barrier);
   double bytes = static_cast<double>(ckpt.image.size());
   double cost = bytes / env_.cluster->config().net.unpack_bandwidth;
   // Stage the checkpoint for the deferred restore; the image Buffer is
@@ -548,7 +595,10 @@ void NodeAgent::handle_halt() {
   // recovery checkpoint will arrive as a purpose=restore buddy checkpoint.
 }
 
-void NodeAgent::handle_abort() {
+void NodeAgent::handle_abort(const wire::EpochMsg& msg) {
+  // Abort only the round it names: a straggling abort from an earlier
+  // consensus must not cancel a later one.
+  if (msg.epoch != epoch_) return;
   if (phase_ == Phase::Idle || phase_ == Phase::Halted) return;
   candidate_ = StoredCheckpoint{};
   phase_ = Phase::Idle;
@@ -572,7 +622,16 @@ void NodeAgent::handle_send_to_buddy(const rt::Message& m, bool candidate) {
   auto barrier = rt::unpack_payload<wire::BarrierMsg>(m);
   const StoredCheckpoint& src =
       candidate && candidate_.valid ? candidate_ : verified_;
-  ACR_REQUIRE(src.valid, "no checkpoint available to send to buddy");
+  if (!src.valid) {
+    // Reachable only through pathological reordering of recovery waves
+    // (e.g. a routed restore request from an abandoned barrier landing on a
+    // node that lost its own checkpoints since). The manager's barrier
+    // accounting ignores the wave; dropping is safe, crashing is not.
+    log_warn("acr.agent") << "node (" << replica_ << "," << index_
+                          << ") asked to ship a checkpoint it does not hold"
+                          << " (barrier " << barrier.barrier << ")";
+    return;
+  }
   send_checkpoint_to_buddy(src, kPurposeRestore, barrier.barrier);
 }
 

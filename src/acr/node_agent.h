@@ -17,6 +17,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <set>
 #include <vector>
 
 #include "acr/config.h"
@@ -92,11 +94,14 @@ class NodeAgent final : public rt::NodeService {
   void handle_commit(const wire::EpochMsg& msg);
   void handle_rollback(const wire::RestoreCmdMsg& msg, bool sdc);
   void handle_halt();
-  void handle_abort();
+  void handle_abort(const wire::EpochMsg& msg);
   void handle_resume();
-  void handle_tree_progress(const wire::ProgressMsg& msg);
-  void handle_tree_ready(const wire::ReadyMsg& msg);
-  void handle_tree_verdict(const wire::VerdictMsg& msg);
+  // Tree reductions carry the contributing child's index: contributions are
+  // tracked as identity sets, so a duplicated control message can never
+  // double-count (idempotency under an at-least-once transport).
+  void handle_tree_progress(const wire::ProgressMsg& msg, int child);
+  void handle_tree_ready(const wire::ReadyMsg& msg, int child);
+  void handle_tree_verdict(const wire::VerdictMsg& msg, int child);
   void handle_buddy_checkpoint(const rt::Message& m);
   void handle_buddy_checksum(const rt::Message& m);
   void handle_send_to_buddy(const rt::Message& m, bool candidate);
@@ -141,15 +146,25 @@ class NodeAgent final : public rt::NodeService {
   std::uint8_t participants_ = 3;
   bool single_replica_ckpt_ = false;
   std::uint64_t decided_iteration_ = 0;
-  int progress_pending_children_ = 0;
+  int num_children_ = 0;
+  /// Children whose contribution to each reduction has been counted.
+  /// Sets, not counters: a duplicated tree message must not double-count.
+  std::set<int> progress_children_;
+  std::set<int> ready_children_;
+  std::set<int> verdict_children_;
   std::uint64_t subtree_max_progress_ = 0;
   bool local_quiesced_ = false;
-  int ready_pending_children_ = 0;
   bool local_ready_ = false;
-  int verdict_pending_children_ = 0;
   bool subtree_match_ = true;
   std::uint64_t subtree_mismatches_ = 0;
   bool local_verdict_done_ = false;
+  /// A child's kTreeProgress can legitimately overtake this node's own
+  /// kCheckpointRequest (they travel different links). Early contributions
+  /// are stashed by epoch and replayed when the request arrives.
+  std::map<std::uint64_t, std::map<int, std::uint64_t>> progress_stash_;
+  /// Highest restore barrier acted on; duplicated or re-routed restore
+  /// commands for a wave already taken are ignored.
+  std::uint64_t last_restore_barrier_ = 0;
 
   // Comparison state. The remote image aliases the buddy's stored
   // checkpoint buffer (zero-copy transfer); the digest is folded while

@@ -146,6 +146,17 @@ RunSummary AcrRuntime::run(double max_virtual_time) {
   s.sdc_detected = manager_->sdc_rollbacks();
   s.recoveries = manager_->recoveries_completed();
   s.scratch_restarts = manager_->scratch_restarts();
+  const failure::NetFaultCounters& nf = cluster_->net_fault_counters();
+  const net::LinkStats& ls = cluster_->link_stats();
+  const rt::Cluster::NetCounters& nc = cluster_->net_counters();
+  s.net_frames = nf.frames;
+  s.net_drops = nf.drops;
+  s.net_duplicates = nf.duplicates;
+  s.net_corruptions = nf.corruptions;
+  s.net_retransmits = ls.retransmits;
+  s.net_crc_drops = nc.crc_drops;
+  s.net_stale_epoch_drops = nc.stale_epoch_drops;
+  s.net_link_failures = nc.link_failures;
   return s;
 }
 

@@ -52,6 +52,16 @@ struct RunSummary {
   std::uint64_t sdc_detected = 0;
   std::uint64_t recoveries = 0;
   std::uint64_t scratch_restarts = 0;
+  // Network delivery counters (all zero unless network fault injection is
+  // enabled — the reliable transport is bypassed on a clean network).
+  std::uint64_t net_frames = 0;        ///< data frames put on the wire
+  std::uint64_t net_drops = 0;         ///< frames lost by the injector
+  std::uint64_t net_duplicates = 0;    ///< frames duplicated in flight
+  std::uint64_t net_corruptions = 0;   ///< frames bit-flipped in flight
+  std::uint64_t net_retransmits = 0;   ///< timer-driven re-sends
+  std::uint64_t net_crc_drops = 0;     ///< frames failing CRC32C on arrival
+  std::uint64_t net_stale_epoch_drops = 0;  ///< app msgs from stale epochs
+  std::uint64_t net_link_failures = 0;      ///< retry budgets exhausted
 };
 
 class AcrRuntime {

@@ -1,0 +1,60 @@
+#include "failure/net_faults.h"
+
+namespace acr::failure {
+
+Pcg32& NetFaultInjector::link_rng(int src, int dst) {
+  auto key = std::make_pair(src, dst);
+  auto it = streams_.find(key);
+  if (it != streams_.end()) return it->second;
+  // Mix (seed, src, dst) through SplitMix64 so every directed link gets an
+  // independent stream, stable across runs and insertion orders.
+  SplitMix64 mix(seed_ ^
+                 (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+                  << 32) ^
+                 static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)));
+  std::uint64_t s = mix.next();
+  std::uint64_t stream = mix.next();
+  return streams_.emplace(key, Pcg32(s, stream)).first->second;
+}
+
+NetFaultDecision NetFaultInjector::decide(int src, int dst,
+                                          std::size_t payload_bytes) {
+  NetFaultDecision d;
+  ++counters_.frames;
+  if (!cfg_.enabled()) return d;
+  Pcg32& rng = link_rng(src, dst);
+  // Fixed draw order keeps the stream consumption identical no matter which
+  // faults are enabled at what rates.
+  double u_drop = rng.uniform();
+  double u_corrupt = rng.uniform();
+  double u_dup = rng.uniform();
+  double u_delay = rng.uniform();
+  if (u_drop < cfg_.drop_rate) {
+    d.drop = true;
+    ++counters_.drops;
+    return d;  // a dropped frame has no further fate
+  }
+  if (u_corrupt < cfg_.corrupt_rate) {
+    d.corrupt = true;
+    if (payload_bytes > 0) {
+      d.corrupt_byte = rng.bounded(
+          static_cast<std::uint32_t>(payload_bytes > 0xFFFFFFFFu
+                                         ? 0xFFFFFFFFu
+                                         : payload_bytes));
+      d.corrupt_bit = static_cast<int>(rng.bounded(8));
+    }
+    ++counters_.corruptions;
+  }
+  if (u_dup < cfg_.dup_rate) {
+    d.duplicate = true;
+    d.dup_extra_delay = rng.uniform(0.0, cfg_.reorder_max_extra);
+    ++counters_.duplicates;
+  }
+  if (u_delay < cfg_.reorder_rate) {
+    d.extra_delay = rng.uniform(0.0, cfg_.reorder_max_extra);
+    ++counters_.delays;
+  }
+  return d;
+}
+
+}  // namespace acr::failure

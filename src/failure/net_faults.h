@@ -1,0 +1,92 @@
+// Network fault injection: a lossy-wire model for in-flight frames.
+//
+// The simulated cluster historically delivered every message perfectly, so
+// the ACR consensus and buddy-exchange protocols were never stressed the way
+// a real interconnect stresses them. `NetFaultInjector` sits on the wire
+// between the transport layer and the delivery event: for every frame it
+// draws, from a per-directed-link seeded PCG32 stream, whether the frame is
+//
+//   - dropped       (never arrives; the sender's retransmit timer must cover),
+//   - bit-corrupted (arrives with one flipped payload bit; CRC32C must catch),
+//   - duplicated    (a second copy arrives, possibly later; the receive
+//                    window must suppress it),
+//   - delayed       (extra latency, which reorders it against frames on
+//                    *other* links — per-link FIFO order is preserved, as on
+//                    a real switched fabric).
+//
+// Decisions are a pure function of (seed, src, dst, draw index), so a fuzz
+// failure reproduces exactly from its seed regardless of how other links
+// interleave.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace acr::failure {
+
+/// Per-link fault rates. All rates default to zero: the wire is perfect and
+/// the transport layer must be bit-for-bit invisible.
+struct NetFaultConfig {
+  double drop_rate = 0.0;     ///< P(frame silently lost)
+  double dup_rate = 0.0;      ///< P(frame delivered twice)
+  double reorder_rate = 0.0;  ///< P(frame gets extra latency)
+  double corrupt_rate = 0.0;  ///< P(one payload bit flips in flight)
+  /// Max extra latency (seconds) applied to delayed / duplicate copies.
+  double reorder_max_extra = 1e-3;
+
+  bool enabled() const {
+    return drop_rate > 0.0 || dup_rate > 0.0 || reorder_rate > 0.0 ||
+           corrupt_rate > 0.0;
+  }
+};
+
+/// What happens to one frame on the wire.
+struct NetFaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  bool corrupt = false;
+  std::size_t corrupt_byte = 0;  ///< byte index of the flipped bit
+  int corrupt_bit = 0;           ///< bit index within that byte
+  double extra_delay = 0.0;      ///< added to the primary copy's latency
+  double dup_extra_delay = 0.0;  ///< added to the duplicate copy's latency
+};
+
+/// Running totals across all links.
+struct NetFaultCounters {
+  std::uint64_t frames = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t corruptions = 0;
+};
+
+class NetFaultInjector {
+ public:
+  NetFaultInjector(const NetFaultConfig& cfg, std::uint64_t seed)
+      : cfg_(cfg), seed_(seed) {}
+
+  bool enabled() const { return cfg_.enabled(); }
+  const NetFaultConfig& config() const { return cfg_; }
+  const NetFaultCounters& counters() const { return counters_; }
+
+  /// Draw the fate of one frame travelling src -> dst. `payload_bytes` bounds
+  /// the corruption site; empty payloads are treated as header corruption by
+  /// the caller (the frame fails its integrity check outright).
+  NetFaultDecision decide(int src, int dst, std::size_t payload_bytes);
+
+ private:
+  Pcg32& link_rng(int src, int dst);
+
+  NetFaultConfig cfg_;
+  std::uint64_t seed_;
+  NetFaultCounters counters_;
+  // Ordered map: deterministic iteration and reference stability are both
+  // load-bearing (streams are created lazily mid-run).
+  std::map<std::pair<int, int>, Pcg32> streams_;
+};
+
+}  // namespace acr::failure

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "checksum/crc32c.h"
 #include "common/logging.h"
 
 namespace acr::rt {
@@ -21,6 +22,8 @@ const char* trace_kind_name(TraceKind k) {
     case TraceKind::RecoveryCompleted: return "recovery-completed";
     case TraceKind::Rollback: return "rollback";
     case TraceKind::JobComplete: return "job-complete";
+    case TraceKind::StaleMessageDropped: return "stale-message-dropped";
+    case TraceKind::LinkFailure: return "link-failure";
   }
   return "?";
 }
@@ -44,7 +47,11 @@ const TraceEvent* TraceLog::find_first(TraceKind kind, double t) const {
 }
 
 Cluster::Cluster(Engine& engine, const ClusterConfig& config)
-    : engine_(engine), config_(config), jitter_rng_(config.seed, 77) {
+    : engine_(engine),
+      config_(config),
+      jitter_rng_(config.seed, 77),
+      net_injector_(config.net_faults, config.seed ^ 0x9E7FA017C0FFEE11ULL),
+      transport_(config.reliable, make_transport_hooks()) {
   ACR_REQUIRE(config.nodes_per_replica > 0, "need at least one node");
   ACR_REQUIRE(config.spare_nodes >= 0, "spare count must be non-negative");
 }
@@ -132,11 +139,19 @@ void Cluster::send_task(int replica, TaskAddr src, TaskAddr dst, int tag,
   engine_.schedule_after(lat, [this, m = std::move(m)]() mutable {
     --in_flight_.at(static_cast<std::size_t>(m.dst_replica));
     // Traffic from an abandoned timeline (pre-rollback) is dropped.
-    if (m.app_epoch != app_epoch_.at(static_cast<std::size_t>(m.dst_replica)))
+    if (m.app_epoch !=
+        app_epoch_.at(static_cast<std::size_t>(m.dst_replica))) {
+      ++net_counters_.stale_epoch_drops;
+      trace_.record(engine_.now(), TraceKind::StaleMessageDropped,
+                    m.dst_replica, m.dst.node_index);
       return;
+    }
     int pid = role_table_[static_cast<std::size_t>(m.dst_replica)]
                          [static_cast<std::size_t>(m.dst.node_index)];
-    if (pid < 0) return;  // role unmanned: message disappears
+    if (pid < 0) {  // role unmanned: message disappears
+      ++net_counters_.unmanned_drops;
+      return;
+    }
     nodes_[static_cast<std::size_t>(pid)]->deliver(m);
   });
 }
@@ -154,6 +169,16 @@ void Cluster::send_service(int src_replica, int src_node, int dst_replica,
   m.attachment = std::move(attachment);
   double wire = bytes_on_wire >= 0.0 ? bytes_on_wire
                                      : static_cast<double>(m.size_bytes());
+  if (net_injector_.enabled()) {
+    int src_ep = src_replica < 0 ? kManagerEndpoint
+                                 : role_endpoint(src_replica, src_node);
+    route_reliable(src_ep, role_endpoint(dst_replica, dst_node), std::move(m),
+                   wire);
+    return;
+  }
+  // Perfect-wire fast path: identical event schedule to the pre-transport
+  // cluster (the reliable layer's per-link FIFO would hold small frames
+  // behind bulk ones, perturbing timing even with zero faults).
   double lat = service_latency(src_replica != dst_replica, wire);
   engine_.schedule_after(lat, [this, m = std::move(m)]() mutable {
     int pid = role_table_[static_cast<std::size_t>(m.dst_replica)]
@@ -173,7 +198,13 @@ void Cluster::send_to_manager(int src_replica, int src_node, int tag,
   m.src = TaskAddr{src_node, kServiceSlot};
   m.dst = TaskAddr{-1, kServiceSlot};
   m.payload = std::move(payload);
-  double lat = service_latency(false, static_cast<double>(m.size_bytes()));
+  double wire = static_cast<double>(m.size_bytes());
+  if (net_injector_.enabled()) {
+    route_reliable(role_endpoint(src_replica, src_node), kManagerEndpoint,
+                   std::move(m), wire);
+    return;
+  }
+  double lat = service_latency(false, wire);
   engine_.schedule_after(lat,
                          [this, m = std::move(m)]() { manager_hook_(m); });
 }
@@ -189,10 +220,20 @@ void Cluster::kill_role(int replica, int node_index) {
                 .at(static_cast<std::size_t>(node_index));
   if (pid < 0) return;
   nodes_[static_cast<std::size_t>(pid)]->kill();
+  // The NIC dies with the node: abandon its reliable conversations (their
+  // payloads are released without give-up escalation — the death itself is
+  // detected by heartbeats/RAS, not by retry exhaustion) and bump link
+  // generations so in-flight frames from the dead incarnation are inert.
+  transport_.reset_endpoint(role_endpoint(replica, node_index));
+  purge_rx(role_endpoint(replica, node_index));
 }
 
 Node* Cluster::promote_spare(int replica, int node_index) {
   if (spare_pool_.empty()) return nullptr;
+  // Fresh incarnation of the role: its links must not inherit sequence
+  // state or in-flight traffic addressed to the predecessor.
+  transport_.reset_endpoint(role_endpoint(replica, node_index));
+  purge_rx(role_endpoint(replica, node_index));
   int pid = spare_pool_.back();
   spare_pool_.pop_back();
   int old = role_table_.at(static_cast<std::size_t>(replica))
@@ -204,6 +245,193 @@ Node* Cluster::promote_spare(int replica, int node_index) {
              [static_cast<std::size_t>(node_index)] = pid;
   n.create_tasks();  // fresh tasks; state arrives from the buddy checkpoint
   return &n;
+}
+
+// ---------------------------------------------------------------------------
+// Reliable transport glue: the cluster owns the payload store, the lossy
+// wire (fault injector + engine events), and the hand-up to nodes/manager;
+// the transport owns sequences, acks, timers, and the receive window.
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Modelled size of an ack frame on the wire (a bare header).
+constexpr double kAckWireBytes = static_cast<double>(kMessageHeaderBytes);
+}  // namespace
+
+bool Cluster::endpoint_alive(int endpoint) {
+  if (endpoint == kManagerEndpoint) return true;
+  int replica = endpoint / config_.nodes_per_replica;
+  int node = endpoint % config_.nodes_per_replica;
+  return role_alive(replica, node);
+}
+
+net::ReliableTransport::Hooks Cluster::make_transport_hooks() {
+  net::ReliableTransport::Hooks h;
+  h.schedule = [this](double delay, std::function<void()> fn) {
+    return engine_.schedule_after(delay, std::move(fn));
+  };
+  h.cancel = [this](net::ReliableTransport::TimerId id) { engine_.cancel(id); };
+  h.transmit = [this](net::LinkKey link, net::ReliableTransport::Seq seq,
+                      int attempt) {
+    if (outbox_) {
+      wire_store_.emplace(std::make_pair(link, seq), std::move(*outbox_));
+      outbox_.reset();
+    }
+    transmit_frame(link, seq, attempt);
+  };
+  h.send_ack = [this](net::LinkKey link, net::ReliableTransport::Seq seq) {
+    // Acks ride the reverse wire: small frames, subject to loss and delay
+    // (duplication/corruption of a bare ack is folded into the loss rate).
+    auto d = net_injector_.decide(link.dst, link.src, 0);
+    if (d.drop) return;
+    double lat = service_latency(link.src >= 0 && link.dst >= 0 &&
+                                     link.src / config_.nodes_per_replica !=
+                                         link.dst / config_.nodes_per_replica,
+                                 kAckWireBytes);
+    std::uint64_t gen = transport_.generation(link);
+    engine_.schedule_after(lat + d.extra_delay, [this, link, seq, gen] {
+      transport_.on_ack_frame(link, seq, gen);
+    });
+  };
+  h.deliver = [this](net::LinkKey link, net::ReliableTransport::Seq seq) {
+    dispatch_frame(link, seq);
+  };
+  h.give_up = [this](net::LinkKey link, net::ReliableTransport::Seq seq) {
+    link_gave_up(link, seq);
+  };
+  h.release = [this](net::LinkKey link, net::ReliableTransport::Seq seq) {
+    wire_store_.erase(std::make_pair(link, seq));
+  };
+  return h;
+}
+
+void Cluster::route_reliable(int src_endpoint, int dst_endpoint, Message m,
+                             double wire_bytes) {
+  net::LinkKey link{src_endpoint, dst_endpoint};
+  bool inter = m.src_replica >= 0 && m.dst_replica >= 0 &&
+               m.src_replica != m.dst_replica;
+  WireMsg w;
+  w.latency = service_latency(inter, wire_bytes);
+  w.crc = checksum::crc32c(m.payload.bytes());
+  w.m = std::move(m);
+  outbox_ = std::move(w);
+  transport_.send(link, outbox_->latency);
+  ACR_REQUIRE(!outbox_, "transmit hook must consume the outbox");
+}
+
+void Cluster::transmit_frame(net::LinkKey link,
+                             net::ReliableTransport::Seq seq, int attempt) {
+  (void)attempt;
+  auto it = wire_store_.find(std::make_pair(link, seq));
+  if (it == wire_store_.end()) return;  // released while a retransmit raced
+  const WireMsg& w = it->second;
+  auto d = net_injector_.decide(link.src, link.dst, w.m.payload.size());
+  std::uint64_t gen = transport_.generation(link);
+  net::ReliableTransport::Seq base = transport_.window_base(link);
+  if (!d.drop) {
+    engine_.schedule_after(
+        w.latency + d.extra_delay,
+        [this, link, seq, base, gen, d] {
+          frame_arrived(link, seq, base, gen, d.corrupt, d.corrupt_byte,
+                        d.corrupt_bit);
+        });
+  }
+  if (d.duplicate) {
+    engine_.schedule_after(w.latency + d.dup_extra_delay,
+                           [this, link, seq, base, gen] {
+                             frame_arrived(link, seq, base, gen, false, 0, 0);
+                           });
+  }
+}
+
+void Cluster::frame_arrived(net::LinkKey link,
+                            net::ReliableTransport::Seq seq,
+                            net::ReliableTransport::Seq sender_base,
+                            std::uint64_t generation, bool corrupt,
+                            std::size_t corrupt_byte, int corrupt_bit) {
+  auto it = wire_store_.find(std::make_pair(link, seq));
+  // Already released: the sender got its ack (or reset); this copy is a
+  // straggler nobody is waiting for.
+  if (it == wire_store_.end()) return;
+  const WireMsg& w = it->second;
+  // Integrity check against the send-time CRC32C. Corruption is applied to
+  // a detached copy (copy-on-write) so the sender's retransmit source — the
+  // same shared Buffer — keeps its original bytes.
+  if (corrupt) {
+    if (w.m.payload.empty()) {
+      // Nothing but header to corrupt: the frame fails framing outright.
+      ++net_counters_.crc_drops;
+      return;
+    }
+    buf::Buffer damaged = w.m.payload;
+    damaged.mutable_bytes()[corrupt_byte] ^=
+        static_cast<std::byte>(1u << corrupt_bit);
+    if (checksum::crc32c(damaged.bytes()) != w.crc) {
+      ++net_counters_.crc_drops;
+      return;  // dropped at the NIC: no ack, retransmit covers it
+    }
+  }
+  // A dead or vacated destination has no NIC to ack from.
+  if (!endpoint_alive(link.dst)) {
+    ++net_counters_.dead_endpoint_drops;
+    return;
+  }
+  // Stash the payload receiver-side before the transport decides its fate:
+  // the sender may release its copy (on ack) while this frame is still
+  // buffered behind a hole. Only current-generation frames are stashed.
+  if (generation == transport_.generation(link))
+    rx_store_.insert_or_assign(std::make_pair(link, seq), w.m);
+  transport_.on_data_frame(link, seq, sender_base, generation);
+}
+
+void Cluster::dispatch_frame(net::LinkKey link,
+                             net::ReliableTransport::Seq seq) {
+  auto it = rx_store_.find(std::make_pair(link, seq));
+  ACR_REQUIRE(it != rx_store_.end(), "delivered frame has no stored payload");
+  Message m = std::move(it->second);
+  rx_store_.erase(it);
+  if (link.dst == kManagerEndpoint) {
+    manager_hook_(m);
+    return;
+  }
+  int pid = role_table_[static_cast<std::size_t>(m.dst_replica)]
+                       [static_cast<std::size_t>(m.dst.node_index)];
+  if (pid < 0) return;
+  nodes_[static_cast<std::size_t>(pid)]->deliver(m);
+}
+
+void Cluster::purge_rx(int endpoint) {
+  for (auto it = rx_store_.begin(); it != rx_store_.end();) {
+    if (it->first.first.src == endpoint || it->first.first.dst == endpoint)
+      it = rx_store_.erase(it);
+    else
+      ++it;
+  }
+}
+
+void Cluster::link_gave_up(net::LinkKey link,
+                           net::ReliableTransport::Seq seq) {
+  (void)seq;
+  ++net_counters_.link_failures;
+  auto decode = [this](int ep, int& replica, int& node) {
+    if (ep == kManagerEndpoint) {
+      replica = -1;
+      node = -1;
+    } else {
+      replica = ep / config_.nodes_per_replica;
+      node = ep % config_.nodes_per_replica;
+    }
+  };
+  int sr, sn, dr, dn;
+  decode(link.src, sr, sn);
+  decode(link.dst, dr, dn);
+  trace_.record(engine_.now(), TraceKind::LinkFailure, dr, dn);
+  // If either end is dead, the retry exhaustion is just a symptom of the
+  // node failure, which heartbeats/RAS detect and recover on their own.
+  // Between two live endpoints it is a genuine link failure: report it
+  // out-of-band (the RAS channel) so the manager can degrade gracefully.
+  if (!endpoint_alive(link.src) || !endpoint_alive(link.dst)) return;
+  if (link_failure_hook_) link_failure_hook_(sr, sn, dr, dn);
 }
 
 Pcg32 Cluster::make_rng(std::uint64_t salt) const {

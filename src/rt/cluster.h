@@ -6,12 +6,17 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "failure/net_faults.h"
 #include "net/link_load.h"
+#include "net/reliable.h"
 #include "rt/engine.h"
 #include "rt/message.h"
 #include "rt/node.h"
@@ -37,6 +42,8 @@ enum class TraceKind {
   RecoveryCompleted,
   Rollback,
   JobComplete,
+  StaleMessageDropped,  ///< app message from an abandoned epoch discarded
+  LinkFailure,          ///< reliable link exhausted its retry budget
 };
 
 const char* trace_kind_name(TraceKind k);
@@ -83,6 +90,13 @@ struct ClusterConfig {
 
   /// Machine cost parameters for checkpoint pack/compare/transfer.
   net::NetworkParams net;
+
+  /// Wire fault model for protocol (service/manager) traffic. All rates
+  /// default to zero; when any is non-zero the cluster routes protocol
+  /// traffic through the reliable ack/retransmit transport.
+  failure::NetFaultConfig net_faults;
+  /// Reliable-delivery tuning (retry budget, timeouts, window).
+  net::ReliableConfig reliable;
 
   std::uint64_t seed = 0xAC0FF00DULL;
 };
@@ -178,6 +192,32 @@ class Cluster {
   void send_from_manager(int dst_replica, int dst_node, int tag,
                          buf::Buffer payload, double bytes_on_wire = -1.0);
 
+  // --- network fault / delivery instrumentation --------------------------------
+  /// Drops and escalations counted at the cluster layer (the transport and
+  /// injector keep their own tallies, exposed below).
+  struct NetCounters {
+    std::uint64_t stale_epoch_drops = 0;  ///< app msgs from abandoned epochs
+    std::uint64_t unmanned_drops = 0;     ///< app msgs to vacated roles
+    std::uint64_t crc_drops = 0;          ///< frames failing CRC32C on arrival
+    std::uint64_t dead_endpoint_drops = 0;  ///< frames arriving at a dead NIC
+    std::uint64_t link_failures = 0;      ///< retry budgets exhausted
+  };
+  const NetCounters& net_counters() const { return net_counters_; }
+  const net::LinkStats& link_stats() const { return transport_.stats(); }
+  const failure::NetFaultCounters& net_fault_counters() const {
+    return net_injector_.counters();
+  }
+  bool net_faults_enabled() const { return net_injector_.enabled(); }
+
+  /// Called when a reliable link exhausts its retry budget between two live
+  /// endpoints (out-of-band RAS report; the manager escalates to a scratch
+  /// restart). Arguments: src_replica, src_node, dst_replica, dst_node,
+  /// where replica -1 / node -1 denotes the manager endpoint.
+  using LinkFailureHook = std::function<void(int, int, int, int)>;
+  void set_link_failure_hook(LinkFailureHook hook) {
+    link_failure_hook_ = std::move(hook);
+  }
+
   // --- misc ---------------------------------------------------------------------
   Pcg32 make_rng(std::uint64_t salt) const;
   double app_latency(std::size_t bytes, Pcg32& jitter_rng);
@@ -187,6 +227,41 @@ class Cluster {
  private:
   friend class Node;
   friend class NodeTaskContext;
+
+  /// A message riding the reliable transport, parked until acked/abandoned
+  /// (the retransmit source). Keyed by (link, seq) in wire_store_.
+  struct WireMsg {
+    Message m;
+    double latency = 0.0;     ///< nominal one-way flight time
+    std::uint32_t crc = 0;    ///< CRC32C of the payload at send time
+  };
+
+  // Endpoint ids for the reliable transport: -1 is the manager, roles map
+  // densely to replica * nodes_per_replica + node_index.
+  int role_endpoint(int replica, int node_index) const {
+    return replica * config_.nodes_per_replica + node_index;
+  }
+  static constexpr int kManagerEndpoint = -1;
+
+  net::ReliableTransport::Hooks make_transport_hooks();
+  /// Enqueue `m` on the reliable transport for link (src -> dst endpoints).
+  void route_reliable(int src_endpoint, int dst_endpoint, Message m,
+                      double wire_bytes);
+  /// Put one copy of frame (link, seq) on the lossy wire.
+  void transmit_frame(net::LinkKey link, net::ReliableTransport::Seq seq,
+                      int attempt);
+  /// A data-frame copy reached the destination NIC.
+  void frame_arrived(net::LinkKey link, net::ReliableTransport::Seq seq,
+                     net::ReliableTransport::Seq sender_base,
+                     std::uint64_t generation, bool corrupt,
+                     std::size_t corrupt_byte, int corrupt_bit);
+  /// The transport delivered frame (link, seq) in order: hand it up.
+  void dispatch_frame(net::LinkKey link, net::ReliableTransport::Seq seq);
+  /// The transport gave up on frame (link, seq): escalate if both ends live.
+  void link_gave_up(net::LinkKey link, net::ReliableTransport::Seq seq);
+  bool endpoint_alive(int endpoint);
+  /// Drop receiver-side stashed frames on links touching a reset endpoint.
+  void purge_rx(int endpoint);
 
   Engine& engine_;
   ClusterConfig config_;
@@ -201,6 +276,24 @@ class Cluster {
   std::vector<std::uint64_t> app_epoch_{0, 0};
   Pcg32 jitter_rng_;
   ManagerHook manager_hook_;
+
+  failure::NetFaultInjector net_injector_;
+  net::ReliableTransport transport_;
+  /// Staging slot for the message being handed to transport_.send(); the
+  /// transmit hook files it into wire_store_ once the sequence is known.
+  std::optional<WireMsg> outbox_;
+  /// std::map: references stay valid across inserts (delivery re-enters
+  /// send paths), and iteration order is deterministic.
+  std::map<std::pair<net::LinkKey, net::ReliableTransport::Seq>, WireMsg>
+      wire_store_;
+  /// Receiver-side copy of frames that reached the NIC, held until the
+  /// transport delivers them in order. Separate from wire_store_ because
+  /// the sender may release its copy (ack received) while the receiver is
+  /// still buffering the frame behind a hole.
+  std::map<std::pair<net::LinkKey, net::ReliableTransport::Seq>, Message>
+      rx_store_;
+  NetCounters net_counters_;
+  LinkFailureHook link_failure_hook_;
 };
 
 }  // namespace acr::rt

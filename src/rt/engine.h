@@ -4,7 +4,11 @@
 // serialization, real bit flips) but advances a virtual clock through
 // discrete events, so a "30-minute, 512-core" experiment (Fig. 12) runs in
 // seconds of wall time and is bit-for-bit reproducible. Ties in event time
-// are broken by insertion order.
+// are broken by insertion order: EventIds increase strictly and are never
+// recycled (cancellation included), so equal-deadline events — notably the
+// reliable transport's retransmit timers, which all land on identical
+// deadlines when several frames are sent from one event — fire in the exact
+// order they were scheduled, on every platform, on every run.
 #pragma once
 
 #include <cstdint>

@@ -27,6 +27,39 @@ TEST(Engine, TiesBreakFifo) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
+// Deflake guard for the reliable transport: retransmit timers for frames
+// sent in the same event all land on identical deadlines. The engine's
+// tie-break (strictly increasing EventId, FIFO among equal times) must hold
+// through cancel/re-arm churn, or the retransmit order — and with it every
+// downstream event in a fuzz run — would depend on container luck.
+TEST(Engine, EqualDeadlineTimersSurviveCancelRearmChurn) {
+  Engine e;
+  std::vector<int> order;
+  std::vector<Engine::EventId> ids;
+  for (int i = 0; i < 8; ++i)
+    ids.push_back(e.schedule_at(1.0, [&order, i] { order.push_back(i); }));
+  // Cancel the even timers and re-arm them at the SAME deadline: they must
+  // now fire after every surviving odd timer, in re-arm order.
+  for (int i = 0; i < 8; i += 2) {
+    e.cancel(ids[static_cast<std::size_t>(i)]);
+    e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5, 7, 0, 2, 4, 6}));
+}
+
+TEST(Engine, EventIdsStrictlyIncreaseAcrossCancellations) {
+  Engine e;
+  Engine::EventId prev = 0;
+  for (int i = 0; i < 20; ++i) {
+    Engine::EventId id = e.schedule_at(1.0, [] {});
+    EXPECT_GT(id, prev);
+    prev = id;
+    if (i % 3 == 0) e.cancel(id);  // cancellation must not recycle ids
+  }
+  e.run();
+}
+
 TEST(Engine, HandlersCanScheduleMore) {
   Engine e;
   int fired = 0;

@@ -8,9 +8,13 @@
 // but must never hang either.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <tuple>
+
 #include "acr/runtime.h"
 #include "apps/jacobi3d.h"
 #include "checksum/fletcher.h"
+#include "common/rng.h"
 #include "failure/distributions.h"
 
 namespace acr {
@@ -156,6 +160,177 @@ TEST_P(FaultFuzz, HardFailureStormIsSurvivedOrFailsCleanly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// Network-fault fuzzing: the reliable transport under randomized loss,
+// duplication, reordering, and corruption schedules.
+//
+// Property: network faults alone are invisible to the job. Every run
+// completes, no task's completed-iteration count ever moves backwards (a
+// regression here means a duplicated or reordered control message caused a
+// spurious rollback or epoch reset), and the final verified answer is
+// bitwise identical to a fault-free run's.
+// ---------------------------------------------------------------------------
+
+/// Smaller app than fuzz_app(): the network fuzz sweeps 200+ seeds, so each
+/// run must stay cheap. 8 tasks on 4 nodes per replica.
+apps::Jacobi3DConfig net_fuzz_app() {
+  apps::Jacobi3DConfig cfg;
+  cfg.tasks_x = cfg.tasks_y = 2;
+  cfg.tasks_z = 2;
+  cfg.block_x = cfg.block_y = cfg.block_z = 4;
+  cfg.iterations = 25;
+  cfg.slots_per_node = 2;  // 4 nodes per replica
+  cfg.seconds_per_point = 1e-5;
+  return cfg;
+}
+
+/// Fault-free verified digest for net_fuzz_app under `scheme` (cached — the
+/// answer is scheme-independent in a fault-free run, but computing it per
+/// scheme keeps the comparison honest about it).
+std::uint64_t net_reference_digest(ResilienceScheme scheme) {
+  static std::map<ResilienceScheme, std::uint64_t> cached;
+  auto it = cached.find(scheme);
+  if (it != cached.end()) return it->second;
+  apps::Jacobi3DConfig j = net_fuzz_app();
+  AcrConfig ac;
+  ac.scheme = scheme;
+  ac.checkpoint_interval = 0.003;
+  rt::ClusterConfig cc;
+  cc.nodes_per_replica = j.nodes_needed();
+  cc.spare_nodes = 0;
+  AcrRuntime runtime(ac, cc);
+  runtime.set_task_factory(j.factory());
+  runtime.setup();
+  RunSummary s = runtime.run(1e3);
+  ACR_REQUIRE(s.complete, "net fuzz reference run must complete");
+  std::uint64_t digest = verified_digest(runtime);
+  cached[scheme] = digest;
+  return digest;
+}
+
+/// Samples every live task's completed-iteration count on a fixed cadence
+/// and counts regressions. Arm only for runs without node faults: rollbacks
+/// legitimately rewind progress.
+class ProgressMonotonicitySampler {
+ public:
+  ProgressMonotonicitySampler(AcrRuntime& runtime, double period)
+      : runtime_(runtime), period_(period) {}
+
+  void start() { arm(); }
+  int violations() const { return violations_; }
+
+ private:
+  void arm() {
+    runtime_.engine().schedule_after(period_, [this] {
+      sample();
+      arm();
+    });
+  }
+  void sample() {
+    rt::Cluster& c = runtime_.cluster();
+    for (int r = 0; r < 2; ++r)
+      for (int i = 0; i < c.nodes_per_replica(); ++i) {
+        rt::Node& n = c.node_at(r, i);
+        if (!n.alive()) continue;
+        for (int s = 0; s < n.num_tasks(); ++s) {
+          std::uint64_t& prev = last_[std::make_tuple(r, i, s)];
+          std::uint64_t cur = n.task_progress(s);
+          if (cur < prev) ++violations_;
+          if (cur > prev) prev = cur;
+        }
+      }
+  }
+
+  AcrRuntime& runtime_;
+  double period_;
+  std::map<std::tuple<int, int, int>, std::uint64_t> last_;
+  int violations_ = 0;
+};
+
+/// One randomized network-fault run. Rates are drawn from the seed: loss up
+/// to 5%, duplication up to 3%, extra-latency reordering up to 30%, bit
+/// corruption up to 2%. `fault_mtbf > 0` additionally injects node faults
+/// (and disarms the monotonicity assertion).
+FuzzOutcome net_fuzz_run(ResilienceScheme scheme, std::uint64_t seed,
+                         double fault_mtbf, int* monotone_violations) {
+  apps::Jacobi3DConfig j = net_fuzz_app();
+  AcrConfig ac;
+  ac.scheme = scheme;
+  ac.checkpoint_interval = 0.003;
+  ac.heartbeat_period = 0.0004;
+  ac.heartbeat_timeout = 0.0016;
+  rt::ClusterConfig cc;
+  cc.nodes_per_replica = j.nodes_needed();
+  cc.spare_nodes = fault_mtbf > 0.0 ? 16 : 2;
+  cc.seed = seed;
+  Pcg32 rates(seed, 0x4E7F);
+  cc.net_faults.drop_rate = 0.05 * rates.uniform();
+  cc.net_faults.dup_rate = 0.03 * rates.uniform();
+  cc.net_faults.reorder_rate = 0.30 * rates.uniform();
+  cc.net_faults.corrupt_rate = 0.02 * rates.uniform();
+  cc.net_faults.reorder_max_extra = 5e-5 + 2e-4 * rates.uniform();
+  AcrRuntime runtime(ac, cc);
+  runtime.set_task_factory(j.factory());
+  runtime.setup();
+  if (fault_mtbf > 0.0) {
+    FaultPlan plan;
+    plan.arrivals = std::make_shared<failure::RenewalProcess>(
+        std::make_shared<failure::Exponential>(fault_mtbf));
+    plan.sdc_fraction = 0.3;
+    runtime.set_fault_plan(plan);
+  }
+  ProgressMonotonicitySampler sampler(runtime, 2.5e-4);
+  if (monotone_violations) sampler.start();
+
+  FuzzOutcome out;
+  out.summary = runtime.run(/*max_virtual_time=*/30.0);
+  if (out.summary.complete) {
+    runtime.engine().run_until(out.summary.finish_time + 0.05);
+    out.digest = verified_digest(runtime);
+  }
+  if (monotone_violations) *monotone_violations = sampler.violations();
+  return out;
+}
+
+class NetFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetFuzz, LossyNetworkIsInvisibleToTheJob) {
+  int param = GetParam();
+  std::uint64_t seed = 40000 + static_cast<std::uint64_t>(param) * 6151;
+  ResilienceScheme scheme = param % 3 == 0   ? ResilienceScheme::Strong
+                            : param % 3 == 1 ? ResilienceScheme::Medium
+                                             : ResilienceScheme::Weak;
+  int violations = -1;
+  FuzzOutcome o = net_fuzz_run(scheme, seed, /*fault_mtbf=*/0.0, &violations);
+  ASSERT_TRUE(o.summary.complete)
+      << resilience_scheme_name(scheme) << " wedged at t="
+      << o.summary.finish_time << " (seed " << seed << ")";
+  EXPECT_EQ(violations, 0) << "progress moved backwards (seed " << seed << ")";
+  EXPECT_EQ(o.digest, net_reference_digest(scheme)) << "seed " << seed;
+  // No link between live endpoints may exhaust its retry budget at these
+  // rates, so the degradation path must never fire.
+  EXPECT_EQ(o.summary.net_link_failures, 0u) << "seed " << seed;
+  EXPECT_EQ(o.summary.scratch_restarts, 0u) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetFuzz, ::testing::Range(0, 210));
+
+class NetStorm : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetStorm, NodeFaultsUnderLossyNetworkSurviveOrFailCleanly) {
+  std::uint64_t seed = 80000 + static_cast<std::uint64_t>(GetParam()) * 26947;
+  FuzzOutcome o = net_fuzz_run(ResilienceScheme::Strong, seed,
+                               /*fault_mtbf=*/0.008, nullptr);
+  ASSERT_TRUE(o.summary.complete || o.summary.failed)
+      << "wedged at t=" << o.summary.finish_time << " (seed " << seed << ")";
+  if (o.summary.complete) {
+    EXPECT_EQ(o.digest, net_reference_digest(ResilienceScheme::Strong))
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetStorm, ::testing::Range(0, 20));
 
 }  // namespace
 }  // namespace acr
