@@ -29,6 +29,8 @@ int main(int argc, char** argv) {
   std::string app = "jacobi";
   std::string scheme = "strong";
   std::string detection = "full";
+  std::string ckpt_scheme = "partner";
+  int xor_group_size = 0;  // 0 = unset; defaults to 4 under --ckpt-scheme=xor
   int nodes = 8;
   int spares = 4;
   int iterations = 60;
@@ -55,6 +57,12 @@ int main(int argc, char** argv) {
                  "recovery scheme (§2.3)");
   cli.add_choice("detection", &detection, {"full", "checksum"},
                  "SDC detection method (§4.2)");
+  cli.add_choice("ckpt-scheme", &ckpt_scheme, {"local", "partner", "xor"},
+                 "checkpoint redundancy: local (in-memory only), partner "
+                 "(buddy copy, the paper's §2.1), xor (RAID-5 group parity)");
+  cli.add_int("xor-group-size", &xor_group_size,
+              "nodes per xor parity group (>= 2; a trailing remainder of 1 "
+              "is merged into the previous group; default 4)");
   cli.add_int("nodes", &nodes, "nodes per replica");
   cli.add_int("spares", &spares, "spare node pool size");
   cli.add_int("iterations", &iterations, "application iterations");
@@ -98,6 +106,30 @@ int main(int argc, char** argv) {
                  net_retry_budget);
     return 2;
   }
+  if (xor_group_size != 0 && ckpt_scheme != "xor") {
+    std::fprintf(stderr,
+                 "error: --xor-group-size only applies to --ckpt-scheme=xor "
+                 "(got --ckpt-scheme=%s)\n",
+                 ckpt_scheme.c_str());
+    return 2;
+  }
+  if (ckpt_scheme == "xor") {
+    if (xor_group_size == 0) xor_group_size = 4;
+    if (xor_group_size < 2) {
+      std::fprintf(stderr,
+                   "error: --xor-group-size=%d must be >= 2 (a one-node "
+                   "group has no parity peers)\n",
+                   xor_group_size);
+      return 2;
+    }
+    if (xor_group_size > nodes) {
+      std::fprintf(stderr,
+                   "error: --xor-group-size=%d exceeds --nodes=%d (a group "
+                   "cannot span more nodes than the replica has)\n",
+                   xor_group_size, nodes);
+      return 2;
+    }
+  }
 
   // --- assemble the configuration -------------------------------------------
   AcrConfig ac;
@@ -114,6 +146,16 @@ int main(int argc, char** argv) {
   ac.adaptive_config.max_interval = interval * 8.0;
   ac.heartbeat_period = 0.0005;
   ac.heartbeat_timeout = 0.002;
+  ac.redundancy = ckpt_scheme == "local"   ? ckpt::Scheme::Local
+                  : ckpt_scheme == "xor"   ? ckpt::Scheme::Xor
+                                           : ckpt::Scheme::Partner;
+  if (xor_group_size > 0) ac.xor_group_size = xor_group_size;
+  // Scheme/flag combinations the manager would reject (e.g. xor under a
+  // non-strong resilience scheme) become CLI errors instead of aborts.
+  if (const char* err = validate_redundancy_config(ac, nodes)) {
+    std::fprintf(stderr, "error: %s\n", err);
+    return 2;
+  }
 
   rt::ClusterConfig cc;
   cc.nodes_per_replica = nodes;
@@ -222,6 +264,19 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.net_crc_drops),
         static_cast<unsigned long long>(s.net_stale_epoch_drops),
         static_cast<unsigned long long>(s.net_link_failures));
+  // Only printed for non-default redundancy: keeps partner output
+  // byte-identical to builds that predate the pluggable ckpt layer.
+  if (ac.redundancy != ckpt::Scheme::Partner) {
+    std::printf("redundancy: scheme=%s", s.ckpt_scheme);
+    if (ac.redundancy == ckpt::Scheme::Xor)
+      std::printf(
+          " group-size=%d  parity chunks=%llu bytes=%llu  rebuilds=%llu",
+          ac.xor_group_size,
+          static_cast<unsigned long long>(s.parity_chunks_sent),
+          static_cast<unsigned long long>(s.parity_bytes_sent),
+          static_cast<unsigned long long>(s.xor_rebuilds));
+    std::printf("\n");
+  }
 
   TraceSummary ts = summarize_trace(runtime.trace());
   RunningStats consensus = ts.consensus_latency_stats();

@@ -20,4 +20,31 @@ const char* sdc_detection_name(SdcDetection d) {
   return "?";
 }
 
+const char* validate_redundancy_config(const AcrConfig& config,
+                                       int nodes_per_replica) {
+  switch (config.redundancy) {
+    case ckpt::Scheme::Partner:
+      return nullptr;
+    case ckpt::Scheme::Local:
+      // Medium/weak recovery IS the cross-replica candidate shipment; a
+      // scheme that never ships cannot implement them.
+      if (config.scheme == ResilienceScheme::Medium ||
+          config.scheme == ResilienceScheme::Weak)
+        return "local redundancy cannot serve the medium/weak resilience "
+               "schemes (their recovery ships checkpoints cross-replica)";
+      return nullptr;
+    case ckpt::Scheme::Xor:
+      if (config.scheme != ResilienceScheme::Strong)
+        return "xor redundancy requires the strong resilience scheme (its "
+               "group rebuild replaces the Fig. 4a buddy transfer)";
+      if (config.xor_group_size < 2)
+        return "xor group size must be at least 2 (a one-node group has no "
+               "parity peers)";
+      if (nodes_per_replica < 2)
+        return "xor redundancy needs at least 2 nodes per replica";
+      return nullptr;
+  }
+  return "unknown redundancy scheme";
+}
+
 }  // namespace acr

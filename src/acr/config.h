@@ -1,6 +1,7 @@
 // ACR framework configuration.
 #pragma once
 
+#include "ckpt/redundancy.h"
 #include "failure/adaptive_interval.h"
 #include "pup/checker.h"
 
@@ -24,6 +25,20 @@ const char* sdc_detection_name(SdcDetection d);
 struct AcrConfig {
   ResilienceScheme scheme = ResilienceScheme::Strong;
   SdcDetection detection = SdcDetection::FullCompare;
+
+  /// Checkpoint-redundancy scheme (ckpt layer). Partner is the paper's
+  /// buddy copy; Local keeps no remote copy (hard failures degrade to a
+  /// scratch restart); Xor folds RAID-5-style parity across groups of
+  /// `xor_group_size` nodes within each replica. Xor requires the Strong
+  /// resilience scheme (its rebuild path replaces the buddy transfer of
+  /// Fig. 4a); Local is incompatible with Medium/Weak, whose recovery is
+  /// DEFINED by cross-replica checkpoint shipping. See
+  /// validate_redundancy_config().
+  ckpt::Scheme redundancy = ckpt::Scheme::Partner;
+  /// Parity group width under Xor: >= 2, groups never span replicas. A
+  /// remainder group of one node is merged into the preceding group
+  /// (ckpt::GroupMap).
+  int xor_group_size = 4;
 
   /// Periodic checkpointing (disabled in HardOnly mode regardless).
   bool periodic_checkpoints = true;
@@ -57,5 +72,11 @@ struct AcrConfig {
   /// Stream comparison tolerances (FullCompare mode).
   pup::CheckerConfig checker;
 };
+
+/// Check redundancy-scheme coherence: returns nullptr when valid, else a
+/// human-readable reason (shared by the driver's CLI validation and the
+/// Manager's construction-time ACR_REQUIREs).
+const char* validate_redundancy_config(const AcrConfig& config,
+                                       int nodes_per_replica);
 
 }  // namespace acr

@@ -20,6 +20,9 @@ Manager::Manager(AcrEnv env, AgentInstaller installer)
     ACR_REQUIRE(env_.config->periodic_checkpoints,
                 "weak resilience recovers at the next periodic checkpoint; "
                 "periodic checkpointing must be enabled");
+  if (const char* err = validate_redundancy_config(
+          *env_.config, env_.cluster->nodes_per_replica()))
+    ACR_REQUIRE(false, err);
 }
 
 double Manager::now() const { return env_.cluster->engine().now(); }
@@ -338,6 +341,18 @@ void Manager::start_recovery(int replica, int node_index) {
                  resilience_scheme_name(env_.config->scheme));
   if (!promote_and_install(replica, node_index)) return;
 
+  if (redundancy() == ckpt::Scheme::Local) {
+    // No remote copy exists anywhere: the dead node's image is simply gone.
+    restart_from_scratch();
+    return;
+  }
+  if (redundancy() == ckpt::Scheme::Xor) {
+    // Validation pins xor to the strong scheme; the rebuild replaces the
+    // Fig. 4a buddy transfer.
+    start_xor_recovery(replica, node_index);
+    return;
+  }
+
   switch (env_.config->scheme) {
     case ResilienceScheme::Strong: {
       if (verified_epoch_ == 0) {
@@ -385,6 +400,50 @@ void Manager::start_recovery(int replica, int node_index) {
       broadcast(replica, wire::kHalt, {});
       break;
   }
+}
+
+bool Manager::route_xor_rebuild(int replica, int node_index,
+                                std::uint64_t barrier) {
+  const ckpt::GroupMap& groups = env_.cluster->ckpt_groups();
+  std::vector<int> peers = env_.cluster->live_group_peers(replica, node_index);
+  if (static_cast<int>(peers.size()) < groups.group_size_of(node_index) - 1)
+    return false;  // another group member is dead: parity cannot cover both
+  wire::XorRebuildCmd cmd{node_index, barrier};
+  for (int p : peers)
+    env_.cluster->send_from_manager(replica, p, wire::kXorRebuildSend,
+                                    rt::pack_payload(cmd));
+  return true;
+}
+
+void Manager::start_xor_recovery(int replica, int node_index) {
+  if (verified_epoch_ == 0) {
+    restart_from_scratch();
+    return;
+  }
+  env_.cluster->bump_app_epoch(replica);
+  done_nodes_[static_cast<std::size_t>(replica)].clear();
+  std::uint64_t barrier = next_barrier_++;
+  // The group's survivors feed the fresh node image+parity pieces; everyone
+  // else in the crashed replica rolls back locally, exactly as in the
+  // partner flow. The rebuild never crosses replicas, so the buddy's
+  // liveness is irrelevant here.
+  if (!route_xor_rebuild(replica, node_index, barrier)) {
+    restart_from_scratch();
+    return;
+  }
+  wire::RestoreCmdMsg roll{verified_epoch_, barrier};
+  for (int j = 0; j < env_.cluster->nodes_per_replica(); ++j) {
+    if (j == node_index) continue;
+    env_.cluster->send_from_manager(replica, j, wire::kRollbackHard,
+                                    rt::pack_payload(roll));
+  }
+  ActiveRecovery rec;
+  rec.scheme = ResilienceScheme::Strong;
+  rec.crashed_replica = replica;
+  rec.restore_target = env_.cluster->nodes_per_replica();
+  rec.restored_replicas = static_cast<std::uint8_t>(1u << replica);
+  rec.barrier = barrier;
+  recovery_ = rec;
 }
 
 void Manager::begin_recovery_checkpoint(int crashed_replica) {
@@ -455,11 +514,11 @@ void Manager::escalate_rollback_all() {
   // Re-entrant: overlapping failures during an escalation abandon the
   // current restore wave (its barrier id) and start a fresh one that
   // covers the newly dead roles as well.
-  if (verified_epoch_ == 0) {
+  if (verified_epoch_ == 0 || redundancy() == ckpt::Scheme::Local) {
     restart_from_scratch();
     return;
   }
-  // Roles needing a buddy-assisted restore: currently dead ones, plus any
+  // Roles needing an assisted restore: currently dead ones, plus any
   // role already under recovery — its occupant may be a freshly promoted
   // spare that holds no checkpoint yet.
   for (int r = 0; r < 2; ++r)
@@ -467,13 +526,27 @@ void Manager::escalate_rollback_all() {
       if (!env_.cluster->role_alive(r, i)) dead_roles_.insert({r, i});
   std::vector<std::pair<int, int>> dead(dead_roles_.begin(),
                                         dead_roles_.end());
-  // If any buddy pair is fully gone, the verified checkpoint cannot be
-  // reassembled.
-  for (const auto& [r, i] : dead) {
-    if (std::find(dead.begin(), dead.end(), std::make_pair(1 - r, i)) !=
-        dead.end()) {
-      restart_from_scratch();
-      return;
+  if (redundancy() == ckpt::Scheme::Xor) {
+    // The rebuild is intra-replica: a buddy-pair loss is survivable, but
+    // two dead roles in one parity group are not (single-parity RAID-5).
+    const ckpt::GroupMap& groups = env_.cluster->ckpt_groups();
+    std::map<std::pair<int, int>, int> dead_per_group;
+    for (const auto& [r, i] : dead) ++dead_per_group[{r, groups.group_of(i)}];
+    for (const auto& [group, count] : dead_per_group) {
+      if (count >= 2) {
+        restart_from_scratch();
+        return;
+      }
+    }
+  } else {
+    // Partner: if any buddy pair is fully gone, the verified checkpoint
+    // cannot be reassembled.
+    for (const auto& [r, i] : dead) {
+      if (std::find(dead.begin(), dead.end(), std::make_pair(1 - r, i)) !=
+          dead.end()) {
+        restart_from_scratch();
+        return;
+      }
     }
   }
   for (const auto& [r, i] : dead) {
@@ -500,8 +573,16 @@ void Manager::escalate_rollback_all() {
           std::find(dead.begin(), dead.end(), std::make_pair(r, i)) !=
           dead.end();
       if (was_dead) {
-        env_.cluster->send_from_manager(1 - r, i, wire::kSendVerifiedToBuddy,
-                                        rt::pack_payload(bar));
+        if (redundancy() == ckpt::Scheme::Xor) {
+          // Group survivors feed the spare; the per-group dead count check
+          // above guarantees they are all genuinely alive.
+          bool routed = route_xor_rebuild(r, i, barrier_id);
+          ACR_REQUIRE(routed, "xor escalation with an unrebuildable group");
+        } else {
+          env_.cluster->send_from_manager(1 - r, i,
+                                          wire::kSendVerifiedToBuddy,
+                                          rt::pack_payload(bar));
+        }
       } else {
         env_.cluster->send_from_manager(r, i, wire::kRollbackHard,
                                         rt::pack_payload(roll));
@@ -543,12 +624,18 @@ void Manager::restart_from_scratch() {
   env_.cluster->bump_app_epoch(1);
   done_nodes_[0].clear();
   done_nodes_[1].clear();
-  env_.cluster->engine().schedule_after(0.0, [this]() {
+  // The scratch restart is itself a restore wave: give it a barrier id and
+  // raise every agent's restore floor past the abandoned waves. Rollback or
+  // rebuild commands of those waves may still be in flight; replaying one
+  // after the reset would restore pre-restart state on part of the cluster
+  // and wedge the application.
+  std::uint64_t barrier = next_barrier_++;
+  env_.cluster->engine().schedule_after(0.0, [this, barrier]() {
     for (int r = 0; r < 2; ++r) {
       for (int i = 0; i < env_.cluster->nodes_per_replica(); ++i) {
         rt::Node& n = env_.cluster->node_at(r, i);
         n.create_tasks();
-        installer_(n);
+        installer_(n)->quash_restores_through(barrier);
         n.start_tasks();
       }
     }
@@ -626,14 +713,47 @@ void Manager::on_message(const rt::Message& m) {
       return handle_restore_done(rt::unpack_payload<wire::BarrierMsg>(m),
                                  m.src_replica, m.src.node_index);
     case wire::kNeedBuddyRestore: {
-      // A checkpoint-less node was told to roll back: route its buddy's
-      // verified image to it under the same barrier.
+      // A checkpoint-less node was told to roll back: route a recovery
+      // image to it under the same barrier — the buddy's verified copy
+      // under partner, a group rebuild under xor. Local has no remote copy
+      // to route, so the wave degrades to a scratch restart.
       auto need = rt::unpack_payload<wire::BarrierMsg>(m);
-      if (recovery_ && need.barrier == recovery_->barrier &&
-          env_.cluster->role_alive(1 - m.src_replica, m.src.node_index)) {
-        env_.cluster->send_from_manager(1 - m.src_replica, m.src.node_index,
-                                        wire::kSendVerifiedToBuddy,
-                                        rt::pack_payload(need));
+      if (!recovery_ || need.barrier != recovery_->barrier) return;
+      switch (redundancy()) {
+        case ckpt::Scheme::Partner:
+          if (env_.cluster->role_alive(1 - m.src_replica, m.src.node_index)) {
+            env_.cluster->send_from_manager(
+                1 - m.src_replica, m.src.node_index,
+                wire::kSendVerifiedToBuddy, rt::pack_payload(need));
+          }
+          return;
+        case ckpt::Scheme::Xor:
+          if (!route_xor_rebuild(m.src_replica, m.src.node_index,
+                                 need.barrier)) {
+            recovery_.reset();
+            restart_from_scratch();
+          }
+          return;
+        case ckpt::Scheme::Local:
+          recovery_.reset();
+          restart_from_scratch();
+          return;
+      }
+      return;
+    }
+    case wire::kXorRebuildImpossible: {
+      // A survivor (or the spare itself) found the rebuild unservable —
+      // parity exchange raced the failure, or pieces were inconsistent.
+      // Only the active wave may trigger the fallback; stragglers from an
+      // abandoned barrier are moot.
+      auto bar = rt::unpack_payload<wire::BarrierMsg>(m);
+      if (recovery_ && bar.barrier == recovery_->barrier) {
+        log_warn("acr.manager")
+            << "xor rebuild impossible (barrier " << bar.barrier
+            << ", reported by (" << m.src_replica << "," << m.src.node_index
+            << ")); degrading to scratch restart";
+        recovery_.reset();
+        restart_from_scratch();
       }
       return;
     }

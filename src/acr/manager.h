@@ -103,6 +103,15 @@ class Manager {
   void handle_suspect(const wire::SuspectMsg& msg);
   void handle_suspect_role(int replica, int node_index);
   void start_recovery(int replica, int node_index);
+  /// Strong-scheme recovery under xor redundancy: the promoted spare is
+  /// rebuilt intra-replica from its group's surviving images + parity
+  /// instead of the Fig. 4a buddy transfer.
+  void start_xor_recovery(int replica, int node_index);
+  /// Order the live group peers of (replica, node_index) to feed it rebuild
+  /// pieces under `barrier`. False when the group cannot rebuild (another
+  /// member dead): caller must fall back to scratch.
+  bool route_xor_rebuild(int replica, int node_index, std::uint64_t barrier);
+  ckpt::Scheme redundancy() const { return env_.config->redundancy; }
   void begin_recovery_checkpoint(int crashed_replica);
   void handle_restore_done(const wire::BarrierMsg& msg, int src_replica,
                            int src_node);

@@ -1,6 +1,7 @@
 #include "acr/node_agent.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "checksum/sink.h"
 #include "common/logging.h"
@@ -21,6 +22,55 @@ NodeAgent::NodeAgent(AcrEnv env, rt::Node& node)
       num_nodes_(env.cluster->nodes_per_replica()) {
   ACR_REQUIRE(node.assigned(), "agent requires an assigned node");
   done_.assign(static_cast<std::size_t>(node.num_tasks()), false);
+  make_scheme();
+}
+
+void NodeAgent::make_scheme() {
+  switch (env_.config->redundancy) {
+    case ckpt::Scheme::Local:
+      scheme_ = std::make_unique<ckpt::LocalScheme>();
+      return;
+    case ckpt::Scheme::Partner:
+      scheme_ = std::make_unique<ckpt::PartnerScheme>();
+      return;
+    case ckpt::Scheme::Xor: {
+      const ckpt::GroupMap& groups = env_.cluster->ckpt_groups();
+      ACR_REQUIRE(groups.enabled(),
+                  "xor redundancy requires cluster checkpoint groups");
+      ckpt::XorScheme::Hooks hooks;
+      hooks.send_chunk = [this](int dst, const ckpt::XorChunkMsg& msg,
+                                buf::Buffer chunk) {
+        ckpt::XorChunkMsg m = msg;
+        send_to_agent(replica_, dst, wire::kXorParityChunk,
+                      rt::pack_payload(m), /*bytes_on_wire=*/-1.0,
+                      std::move(chunk));
+      };
+      hooks.send_piece = [this](int dst, const ckpt::XorPieceMsg& msg,
+                                buf::Buffer image) {
+        ckpt::XorPieceMsg m = msg;
+        send_to_agent(replica_, dst, wire::kXorRebuildPiece,
+                      rt::pack_payload(m), /*bytes_on_wire=*/-1.0,
+                      std::move(image));
+      };
+      hooks.report_impossible = [this](std::uint64_t barrier) {
+        wire::BarrierMsg msg{barrier};
+        send_to_manager(wire::kXorRebuildImpossible, rt::pack_payload(msg));
+      };
+      hooks.restore_rebuilt = [this](ckpt::Image img, std::uint64_t barrier) {
+        if (barrier <= last_restore_barrier_) return;  // wave already taken
+        restore_from(img, "xor rebuild", barrier);
+      };
+      scheme_ = std::make_unique<ckpt::XorScheme>(groups, index_,
+                                                  std::move(hooks));
+      return;
+    }
+  }
+  ACR_REQUIRE(false, "unknown redundancy scheme");
+}
+
+ckpt::XorScheme* NodeAgent::xor_scheme() {
+  if (scheme_->kind() != ckpt::Scheme::Xor) return nullptr;
+  return static_cast<ckpt::XorScheme*>(scheme_.get());
 }
 
 std::vector<int> NodeAgent::child_indices() const {
@@ -66,13 +116,17 @@ void NodeAgent::reset_for_restart() {
   last_restore_barrier_ = 0;
   awaiting_go_ = false;
   node_.set_gated(false);
-  verified_ = StoredCheckpoint{};
-  candidate_ = StoredCheckpoint{};
+  store_.reset();
+  scheme_->reset();
   pack_complete_ = false;
   have_remote_ = false;
   local_verdict_done_ = false;
   refresh_done_from_tasks();
   start();  // rebuilds the peer table, bumps heartbeat incarnation
+}
+
+void NodeAgent::quash_restores_through(std::uint64_t barrier) {
+  last_restore_barrier_ = std::max(last_restore_barrier_, barrier);
 }
 
 void NodeAgent::heartbeat_tick() {
@@ -207,6 +261,12 @@ void NodeAgent::on_service_message(const rt::Message& m) {
       return handle_send_to_buddy(m, /*candidate=*/false);
     case wire::kSendCandidateToBuddy:
       return handle_send_to_buddy(m, /*candidate=*/true);
+    case wire::kXorRebuildSend: {
+      auto cmd = rt::unpack_payload<wire::XorRebuildCmd>(m);
+      if (ckpt::XorScheme* x = xor_scheme())
+        x->on_rebuild_request(cmd.dead_index, cmd.barrier, store_.verified());
+      return;
+    }
     case wire::kTreeProgress:
       return handle_tree_progress(rt::unpack_payload<wire::ProgressMsg>(m),
                                   m.src.node_index);
@@ -220,6 +280,19 @@ void NodeAgent::on_service_message(const rt::Message& m) {
       return handle_buddy_checkpoint(m);
     case wire::kBuddyChecksum:
       return handle_buddy_checksum(m);
+    case wire::kXorParityChunk: {
+      auto msg = rt::unpack_payload<ckpt::XorChunkMsg>(m);
+      if (ckpt::XorScheme* x = xor_scheme())
+        x->on_chunk(m.src.node_index, msg, m.attachment);
+      return;
+    }
+    case wire::kXorRebuildPiece: {
+      auto msg = rt::unpack_payload<ckpt::XorPieceMsg>(m);
+      if (msg.barrier <= last_restore_barrier_) return;  // wave already taken
+      if (ckpt::XorScheme* x = xor_scheme())
+        x->on_piece(m.src.node_index, msg, m.attachment);
+      return;
+    }
     default:
       log_warn("acr.agent") << "unknown service tag " << m.tag;
   }
@@ -372,16 +445,14 @@ void NodeAgent::pack_candidate() {
   bool stream_digest = env_.config->detection == SdcDetection::Checksum &&
                        !single_replica_ckpt_;
   checksum::Fletcher64Sink digest;
-  candidate_.image = node_.pack_state(stream_digest ? &digest : nullptr);
+  pup::Checkpoint image = node_.pack_state(stream_digest ? &digest : nullptr);
   if (stream_digest) local_digest_ = digest.digest();
-  candidate_.epoch = epoch_;
-  candidate_.iteration = decided_iteration_;
-  candidate_.valid = true;
+  double bytes = static_cast<double>(image.size());
+  store_.stage_candidate(epoch_, decided_iteration_, std::move(image));
   ++checkpoints_packed_;
 
   // Charge the serialization cost, plus the digest cost in checksum mode
   // (~4 instructions per byte, §4.2).
-  double bytes = static_cast<double>(candidate_.image.size());
   double pack_time = bytes / env_.cluster->config().net.pack_bandwidth;
   if (env_.config->detection == SdcDetection::Checksum &&
       !single_replica_ckpt_) {
@@ -413,14 +484,14 @@ void NodeAgent::after_pack() {
     if (replica_ == 0) {
       wire::ChecksumMsg msg{epoch_, local_digest_,
                             static_cast<std::uint64_t>(
-                                candidate_.image.size())};
+                                store_.candidate().image.size())};
       send_to_agent(1, index_, wire::kBuddyChecksum, rt::pack_payload(msg));
       phase_ = Phase::AwaitVerdict;
       return;
     }
   } else {
     if (replica_ == 0) {
-      send_checkpoint_to_buddy(candidate_, kPurposeCompare);
+      send_checkpoint_to_buddy(store_.candidate(), kPurposeCompare);
       phase_ = Phase::AwaitVerdict;
       return;
     }
@@ -430,7 +501,7 @@ void NodeAgent::after_pack() {
   maybe_compare();
 }
 
-void NodeAgent::send_checkpoint_to_buddy(const StoredCheckpoint& ckpt,
+void NodeAgent::send_checkpoint_to_buddy(const ckpt::Image& ckpt,
                                          std::uint8_t purpose,
                                          std::uint64_t barrier) {
   wire::CheckpointMsg msg;
@@ -459,7 +530,7 @@ void NodeAgent::handle_buddy_checkpoint(const rt::Message& m) {
     if (msg.barrier <= last_restore_barrier_) return;  // wave already taken
     // Buddy-assisted restore (spare promotion, medium/weak forward jump).
     // The image shares the sender's buffer; no copy is made here either.
-    StoredCheckpoint incoming;
+    ckpt::Image incoming;
     incoming.valid = true;
     incoming.epoch = msg.epoch;
     incoming.iteration = msg.iteration;
@@ -479,18 +550,18 @@ void NodeAgent::maybe_compare() {
     return;
   if (env_.config->detection == SdcDetection::Checksum) {
     bool match = remote_checksum_.digest == local_digest_ &&
-                 remote_checksum_.full_bytes == candidate_.image.size();
+                 remote_checksum_.full_bytes == store_.candidate().image.size();
     finish_local_verdict(match);
     return;
   }
   // Full comparison: charge the streaming compare cost, then judge.
-  double bytes = static_cast<double>(candidate_.image.size());
+  double bytes = static_cast<double>(store_.candidate().image.size());
   double cost = bytes / env_.cluster->config().net.compare_bandwidth;
   std::uint64_t inc = node_.incarnation();
   env_.cluster->engine().schedule_after(cost, [this, inc]() {
     if (!node_.alive() || node_.incarnation() != inc) return;
     pup::CompareResult r = pup::compare_streams(
-        candidate_.image.bytes(), remote_image_.bytes(),
+        store_.candidate().image.bytes(), remote_image_.bytes(),
         env_.config->checker);
     finish_local_verdict(r.match);
   });
@@ -534,9 +605,10 @@ void NodeAgent::handle_commit(const wire::EpochMsg& msg) {
   // freshly promoted spare (epoch 0) or a node mid-restore must not be
   // unpaused by a commit addressed to its predecessor's round.
   if (msg.epoch != epoch_ || awaiting_go_) return;
-  if (candidate_.valid && candidate_.epoch == msg.epoch) {
-    verified_ = std::move(candidate_);
-    candidate_ = StoredCheckpoint{};
+  if (store_.promote(msg.epoch) == ckpt::PromoteResult::Promoted) {
+    // A new verified image exists: let the redundancy scheme protect it
+    // (no-op under local/partner — the buddy already holds its copy).
+    scheme_->on_verified(store_.verified());
   }
   phase_ = Phase::Idle;
   node_.unpause_all();
@@ -544,21 +616,33 @@ void NodeAgent::handle_commit(const wire::EpochMsg& msg) {
 
 void NodeAgent::handle_rollback(const wire::RestoreCmdMsg& msg, bool sdc) {
   if (msg.barrier <= last_restore_barrier_) return;  // wave already taken
-  if (!verified_.valid) {
+  const char* why = sdc ? "sdc rollback" : "hard rollback";
+  if (!store_.has_verified()) {
+    // Local/xor schemes may still hold a candidate for exactly the rollback
+    // epoch (the commit raced this failure): a candidate at that epoch
+    // necessarily passed the comparison, so restoring it needs no traffic.
+    // The partner scheme keeps the original protocol to the byte: ask the
+    // manager to route the buddy's verified image here.
+    if (scheme_->kind() != ckpt::Scheme::Partner) {
+      if (const ckpt::Image* img = store_.restorable(msg.epoch)) {
+        ckpt::Image local = *img;
+        restore_from(local, why, msg.barrier);
+        return;
+      }
+    }
     // A freshly promoted spare caught in a wider rollback before its first
     // restore landed: it holds no checkpoint of its own. Stay gated and ask
-    // the manager to route the buddy's verified image here instead.
+    // the manager to route a recovery image here instead.
     node_.set_gated(true);
     wire::BarrierMsg need{msg.barrier};
     send_to_manager(wire::kNeedBuddyRestore, rt::pack_payload(need));
     return;
   }
-  candidate_ = StoredCheckpoint{};
-  restore_from(verified_, sdc ? "sdc rollback" : "hard rollback",
-               msg.barrier);
+  store_.discard_candidate();
+  restore_from(store_.verified(), why, msg.barrier);
 }
 
-void NodeAgent::restore_from(const StoredCheckpoint& ckpt, const char* why,
+void NodeAgent::restore_from(const ckpt::Image& ckpt, const char* why,
                              std::uint64_t barrier) {
   ACR_REQUIRE(ckpt.valid, "restore from invalid checkpoint");
   // Record the wave at initiation so a duplicated restore command (or a
@@ -568,16 +652,25 @@ void NodeAgent::restore_from(const StoredCheckpoint& ckpt, const char* why,
   double cost = bytes / env_.cluster->config().net.unpack_bandwidth;
   // Stage the checkpoint for the deferred restore; the image Buffer is
   // shared, so this costs a refcount bump even for message-borne images.
-  StoredCheckpoint local = ckpt;
+  ckpt::Image local = ckpt;
   node_.set_gated(true);  // drop app traffic until the resume barrier opens
   env_.cluster->engine().schedule_after(cost, [this, local = std::move(local),
                                                why, barrier]() {
     if (!node_.alive()) return;
+    // A newer wave (or a scratch restart's floor) superseded this restore
+    // while its unpack was in flight: applying it now would revive
+    // abandoned-timeline state on part of the cluster.
+    if (last_restore_barrier_ != barrier) return;
     node_.restore_state(local.image);
-    verified_ = local;
-    candidate_ = StoredCheckpoint{};
+    store_.adopt_verified(local);
     phase_ = Phase::Idle;
     refresh_done_from_tasks();
+    // The restored image is the node's (possibly new) verified state: the
+    // redundancy scheme re-protects it. Under xor this is what re-feeds a
+    // promoted spare's group parity — every member re-sends its chunks
+    // after the rollback wave; holders that already completed this epoch
+    // ignore them.
+    scheme_->on_verified(store_.verified());
     // Two-phase restart (the paper's restart barriers): report done, stay
     // gated, and resume only on the manager's collective go (kResume).
     awaiting_go_ = true;
@@ -600,7 +693,7 @@ void NodeAgent::handle_abort(const wire::EpochMsg& msg) {
   // consensus must not cancel a later one.
   if (msg.epoch != epoch_) return;
   if (phase_ == Phase::Idle || phase_ == Phase::Halted) return;
-  candidate_ = StoredCheckpoint{};
+  store_.discard_candidate();
   phase_ = Phase::Idle;
   node_.unpause_all();
 }
@@ -620,8 +713,9 @@ void NodeAgent::handle_resume() {
 
 void NodeAgent::handle_send_to_buddy(const rt::Message& m, bool candidate) {
   auto barrier = rt::unpack_payload<wire::BarrierMsg>(m);
-  const StoredCheckpoint& src =
-      candidate && candidate_.valid ? candidate_ : verified_;
+  const ckpt::Image& src = candidate && store_.has_candidate()
+                               ? store_.candidate()
+                               : store_.verified();
   if (!src.valid) {
     // Reachable only through pathological reordering of recovery waves
     // (e.g. a routed restore request from an abandoned barrier landing on a

@@ -5,12 +5,14 @@
 //  * Fig. 3 checkpoint consensus — pausing tasks at progress reports,
 //    asynchronous max-progress and readiness reductions along a binary tree
 //    of the replica's logical node indices;
-//  * the double in-memory checkpoint store (verified + candidate epochs);
+//  * the double in-memory checkpoint store (ckpt::Store: verified +
+//    candidate epochs) and the pluggable redundancy scheme protecting it
+//    (ckpt::RedundancyScheme: local / partner / xor group parity);
 //  * SDC detection — shipping the checkpoint (or its Fletcher-64 digest) to
 //    the buddy node in the other replica and comparing (§2.1, §4.1–4.2);
 //  * buddy heartbeating and no-response failure detection (§6.1);
-//  * restore paths for rollback, buddy-assisted spare recovery, and the
-//    forward-jump restores of the medium/weak schemes (§2.3).
+//  * restore paths for rollback, buddy-assisted spare recovery, XOR group
+//    rebuild, and the forward-jump restores of the medium/weak schemes.
 //
 // Reductions travel agent-to-agent with modelled latency; control
 // broadcasts come directly from the job manager (see manager.h).
@@ -18,11 +20,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "acr/config.h"
 #include "acr/wire.h"
+#include "ckpt/redundancy.h"
+#include "ckpt/store.h"
 #include "pup/pup.h"
 #include "rt/cluster.h"
 #include "rt/node.h"
@@ -48,6 +53,14 @@ class NodeAgent final : public rt::NodeService {
   /// so relaunches reuse them.
   void reset_for_restart();
 
+  /// Raise the restore-wave floor: restore commands and in-flight restore
+  /// applications whose barrier id is at or below `barrier` are ignored
+  /// from now on. The manager calls this when a scratch restart abandons a
+  /// recovery wave whose rollback/rebuild commands may still be in flight —
+  /// without it, a stale kRollbackHard landing after the reset would revive
+  /// pre-restart state on part of the cluster and deadlock the app.
+  void quash_restores_through(std::uint64_t barrier);
+
   // --- rt::NodeService -------------------------------------------------------
   void on_service_message(const rt::Message& m) override;
   rt::ProgressDecision on_progress(int slot, std::uint64_t iters) override;
@@ -63,25 +76,24 @@ class NodeAgent final : public rt::NodeService {
     Halted,          ///< weak scheme: waiting for the recovery checkpoint
   };
   Phase phase() const { return phase_; }
-  bool has_verified() const { return verified_.valid; }
-  std::uint64_t verified_epoch() const { return verified_.epoch; }
-  std::uint64_t verified_iteration() const { return verified_.iteration; }
-  std::size_t verified_bytes() const { return verified_.image.size(); }
+  bool has_verified() const { return store_.has_verified(); }
+  std::uint64_t verified_epoch() const { return store_.verified().epoch; }
+  std::uint64_t verified_iteration() const {
+    return store_.verified().iteration;
+  }
+  std::size_t verified_bytes() const { return store_.verified().image.size(); }
   /// Bytes of the verified checkpoint image — the node's authoritative
   /// (cross-replica-compared) answer.
   std::span<const std::byte> verified_image() const {
-    return verified_.image.bytes();
+    return store_.verified().image.bytes();
   }
   std::size_t checkpoints_packed() const { return checkpoints_packed_; }
+  /// The double checkpoint store (verified/candidate epochs).
+  const ckpt::Store& store() const { return store_; }
+  /// The redundancy scheme protecting the verified image.
+  const ckpt::RedundancyScheme& redundancy() const { return *scheme_; }
 
  private:
-  struct StoredCheckpoint {
-    bool valid = false;
-    std::uint64_t epoch = 0;
-    std::uint64_t iteration = 0;
-    pup::Checkpoint image;
-  };
-
   // Tree helpers over logical node indices of this replica.
   int parent_index() const { return (index_ - 1) / 2; }
   bool is_root() const { return index_ == 0; }
@@ -117,13 +129,17 @@ class NodeAgent final : public rt::NodeService {
   // Checkpoint plumbing.
   void pack_candidate();
   void after_pack();
-  void restore_from(const StoredCheckpoint& ckpt, const char* why,
+  void restore_from(const ckpt::Image& ckpt, const char* why,
                     std::uint64_t barrier);
-  void send_checkpoint_to_buddy(const StoredCheckpoint& ckpt,
-                                std::uint8_t purpose,
+  void send_checkpoint_to_buddy(const ckpt::Image& ckpt, std::uint8_t purpose,
                                 std::uint64_t barrier = 0);
   void refresh_done_from_tasks();
   void report_node_done_if_complete();
+
+  // Redundancy scheme plumbing.
+  void make_scheme();
+  /// The scheme as XorScheme, or nullptr under local/partner.
+  ckpt::XorScheme* xor_scheme();
 
   // Heartbeats.
   void heartbeat_tick();
@@ -179,9 +195,9 @@ class NodeAgent final : public rt::NodeService {
   std::vector<bool> done_;
   bool node_done_reported_ = false;
 
-  // Checkpoint store.
-  StoredCheckpoint verified_;
-  StoredCheckpoint candidate_;
+  // Checkpoint store + redundancy scheme.
+  ckpt::Store store_;
+  std::unique_ptr<ckpt::RedundancyScheme> scheme_;
   std::size_t checkpoints_packed_ = 0;
 
   // Two-phase restart barrier: restored, waiting for the collective go.

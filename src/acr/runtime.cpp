@@ -7,10 +7,22 @@
 
 namespace acr {
 
+namespace {
+/// The cluster's checkpoint-group map exists exactly when the xor scheme
+/// needs it; other schemes leave grouping disabled.
+rt::ClusterConfig with_ckpt_groups(rt::ClusterConfig c,
+                                   const AcrConfig& acr) {
+  c.ckpt_group_size =
+      acr.redundancy == ckpt::Scheme::Xor ? acr.xor_group_size : 0;
+  return c;
+}
+}  // namespace
+
 AcrRuntime::AcrRuntime(const AcrConfig& acr_config,
                        const rt::ClusterConfig& cluster_config)
     : acr_config_(acr_config),
-      cluster_(std::make_unique<rt::Cluster>(engine_, cluster_config)),
+      cluster_(std::make_unique<rt::Cluster>(
+          engine_, with_ckpt_groups(cluster_config, acr_config))),
       fault_rng_(cluster_config.seed ^ 0xFA17ULL, 0xD15EA5E) {}
 
 AcrRuntime::~AcrRuntime() = default;
@@ -157,6 +169,18 @@ RunSummary AcrRuntime::run(double max_virtual_time) {
   s.net_crc_drops = nc.crc_drops;
   s.net_stale_epoch_drops = nc.stale_epoch_drops;
   s.net_link_failures = nc.link_failures;
+  s.ckpt_scheme = ckpt::scheme_name(acr_config_.redundancy);
+  for (int r = 0; r < 2; ++r) {
+    for (int i = 0; i < cluster_->nodes_per_replica(); ++i) {
+      auto* svc = cluster_->node_at(r, i).service();
+      if (svc == nullptr) continue;
+      const ckpt::RedundancyStats& rs =
+          static_cast<NodeAgent*>(svc)->redundancy().stats();
+      s.parity_chunks_sent += rs.parity_chunks_sent;
+      s.parity_bytes_sent += rs.parity_bytes_sent;
+      s.xor_rebuilds += rs.rebuilds_completed;
+    }
+  }
   return s;
 }
 

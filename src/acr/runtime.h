@@ -62,6 +62,13 @@ struct RunSummary {
   std::uint64_t net_crc_drops = 0;     ///< frames failing CRC32C on arrival
   std::uint64_t net_stale_epoch_drops = 0;  ///< app msgs from stale epochs
   std::uint64_t net_link_failures = 0;      ///< retry budgets exhausted
+  // Checkpoint redundancy (ckpt::RedundancyScheme). The parity counters
+  // stay zero except under the xor scheme; they aggregate over the agents
+  // alive at completion.
+  const char* ckpt_scheme = "partner";
+  std::uint64_t parity_chunks_sent = 0;  ///< group parity chunks shipped
+  std::uint64_t parity_bytes_sent = 0;   ///< bytes of those chunks
+  std::uint64_t xor_rebuilds = 0;        ///< images rebuilt from parity
 };
 
 class AcrRuntime {

@@ -21,6 +21,7 @@ enum Tag : int {
   kSendVerifiedToBuddy,      ///< strong recovery: ship verified ckpt to buddy
   kSendCandidateToBuddy,     ///< medium/weak recovery: ship fresh ckpt
   kResume,                   ///< plain resume (after recovery bookkeeping)
+  kXorRebuildSend,           ///< xor recovery: survivor, feed the spare
 
   // Agent -> agent.
   kTreeProgress = 200,  ///< max-progress reduction up the tree
@@ -29,6 +30,8 @@ enum Tag : int {
   kBuddyCheckpoint,     ///< full checkpoint bytes (compare or restore)
   kBuddyChecksum,       ///< Fletcher-64 digest of the checkpoint
   kHeartbeat,
+  kXorParityChunk,      ///< parity chunk of a group member's verified image
+  kXorRebuildPiece,     ///< survivor's image + parity for a spare's rebuild
 
   // Agent -> manager.
   kReplicaQuiesced = 300,  ///< root: subtree fully paused, max progress known
@@ -39,6 +42,7 @@ enum Tag : int {
   kPackDone,               ///< local checkpoint serialized (for recovery flows)
   kRestoreDone,            ///< node restored + resumed
   kNeedBuddyRestore,       ///< rollback ordered but no local checkpoint held
+  kXorRebuildImpossible,   ///< xor rebuild cannot complete; scratch needed
 };
 
 /// Reduction / broadcast payloads. All pup-able.
@@ -133,6 +137,19 @@ struct CheckpointMsg {
     p | epoch;
     p | iteration;
     p | purpose;
+    p | barrier;
+  }
+};
+
+/// Order to a surviving XOR-group member: ship your rebuild piece (image +
+/// parity) to the promoted spare now playing `dead_index`, under the given
+/// restore barrier. The piece itself travels agent-to-agent as a
+/// ckpt::XorPieceMsg with the image attached zero-copy.
+struct XorRebuildCmd {
+  std::int32_t dead_index = 0;
+  std::uint64_t barrier = 0;
+  void pup(pup::Puper& p) {
+    p | dead_index;
     p | barrier;
   }
 };

@@ -4,36 +4,20 @@
 // §4.2's checksum mode *while* the checkpoint stream is produced, so a
 // checksum-mode epoch costs exactly one traversal of the application state
 // (pack and digest fused) instead of pack-then-rescan.
+//
+// Both sinks are instances of the shared FoldSink template (fold.h), which
+// also backs the transport frame CRC and the ckpt-layer XOR parity fold.
 #pragma once
 
-#include "buf/buffer.h"
-#include "checksum/crc32c.h"
-#include "checksum/fletcher.h"
+#include "checksum/fold.h"
 
 namespace acr::checksum {
 
 /// Fletcher-64 folding sink; digest() matches the one-shot fletcher64()
 /// over everything written, for any write granularity.
-class Fletcher64Sink final : public buf::Sink {
- public:
-  void write(std::span<const std::byte> bytes) override { f_.append(bytes); }
-  std::uint64_t digest() const { return f_.digest(); }
-  std::size_t bytes_consumed() const { return f_.size(); }
-  void reset() { f_.reset(); }
-
- private:
-  Fletcher64 f_;
-};
+using Fletcher64Sink = FoldSink<Fletcher64>;
 
 /// CRC32-C folding sink (the §4.2 ablation's alternative digest).
-class Crc32cSink final : public buf::Sink {
- public:
-  void write(std::span<const std::byte> bytes) override { c_.append(bytes); }
-  std::uint32_t digest() const { return c_.digest(); }
-  void reset() { c_.reset(); }
-
- private:
-  Crc32c c_;
-};
+using Crc32cSink = FoldSink<Crc32c>;
 
 }  // namespace acr::checksum

@@ -1,0 +1,50 @@
+#include "ckpt/group.h"
+
+#include "common/require.h"
+
+namespace acr::ckpt {
+
+GroupMap::GroupMap(int nodes_per_replica, int group_size) {
+  if (group_size <= 0) return;
+  ACR_REQUIRE(nodes_per_replica >= 1, "group map needs at least one node");
+  ACR_REQUIRE(group_size >= 2, "parity groups need at least two members");
+  nodes_ = nodes_per_replica;
+  for (int start = 0; start < nodes_per_replica; start += group_size) {
+    if (nodes_per_replica - start == 1 && !starts_.empty()) break;  // merge
+    starts_.push_back(start);
+  }
+}
+
+int GroupMap::group_of(int node_index) const {
+  ACR_REQUIRE(enabled() && node_index >= 0 && node_index < nodes_,
+              "node index outside the group map");
+  int g = 0;
+  while (g + 1 < num_groups() && starts_[static_cast<std::size_t>(g + 1)] <=
+                                     node_index)
+    ++g;
+  return g;
+}
+
+std::vector<int> GroupMap::group_members(int node_index) const {
+  int g = group_of(node_index);
+  int first = starts_[static_cast<std::size_t>(g)];
+  int last = g + 1 < num_groups() ? starts_[static_cast<std::size_t>(g + 1)]
+                                  : nodes_;
+  std::vector<int> members;
+  for (int i = first; i < last; ++i) members.push_back(i);
+  return members;
+}
+
+int GroupMap::rank_in_group(int node_index) const {
+  return node_index - starts_[static_cast<std::size_t>(group_of(node_index))];
+}
+
+int GroupMap::group_size_of(int node_index) const {
+  int g = group_of(node_index);
+  int first = starts_[static_cast<std::size_t>(g)];
+  int last = g + 1 < num_groups() ? starts_[static_cast<std::size_t>(g + 1)]
+                                  : nodes_;
+  return last - first;
+}
+
+}  // namespace acr::ckpt

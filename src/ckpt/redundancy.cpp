@@ -1,0 +1,212 @@
+#include "ckpt/redundancy.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "checksum/fold.h"
+#include "common/logging.h"
+#include "common/require.h"
+
+namespace acr::ckpt {
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::Local:
+      return "local";
+    case Scheme::Partner:
+      return "partner";
+    case Scheme::Xor:
+      return "xor";
+  }
+  return "?";
+}
+
+namespace {
+
+std::span<const std::byte> as_bytes(const std::vector<std::uint8_t>& v) {
+  return {reinterpret_cast<const std::byte*>(v.data()), v.size()};
+}
+
+}  // namespace
+
+XorScheme::XorScheme(const GroupMap& groups, int node_index, Hooks hooks)
+    : members_(groups.group_members(node_index)),
+      n_(static_cast<int>(members_.size())),
+      my_rank_(groups.rank_in_group(node_index)),
+      hooks_(std::move(hooks)) {
+  ACR_REQUIRE(n_ >= 2, "XOR parity needs a group of at least two nodes");
+}
+
+int XorScheme::rank_of(int node_index) const {
+  auto it = std::find(members_.begin(), members_.end(), node_index);
+  ACR_REQUIRE(it != members_.end(), "node index outside this parity group");
+  return static_cast<int>(it - members_.begin());
+}
+
+std::size_t XorScheme::chunk_len(std::uint64_t size) const {
+  auto parts = static_cast<std::uint64_t>(n_ - 1);
+  return static_cast<std::size_t>((size + parts - 1) / parts);
+}
+
+std::pair<std::size_t, std::size_t> XorScheme::chunk_range(std::uint64_t size,
+                                                           int t) const {
+  std::size_t cl = chunk_len(size);
+  std::size_t begin =
+      std::min(static_cast<std::size_t>(t) * cl, static_cast<std::size_t>(size));
+  std::size_t end =
+      std::min(begin + cl, static_cast<std::size_t>(size));
+  return {begin, end};
+}
+
+void XorScheme::on_verified(const Image& img) {
+  ACR_REQUIRE(img.valid, "parity exchange needs a valid image");
+  // One chunk per other group member: holder i receives chunk (i-me-1) mod
+  // n of this node's image, as a zero-copy slice of the stored checkpoint.
+  for (int i = 0; i < n_; ++i) {
+    if (i == my_rank_) continue;
+    int t = (i - my_rank_ - 1 + n_) % n_;
+    auto [begin, end] = chunk_range(img.image.size(), t);
+    XorChunkMsg msg;
+    msg.epoch = img.epoch;
+    msg.iteration = img.iteration;
+    msg.image_size = img.image.size();
+    buf::Buffer chunk = img.image.buffer().slice(begin, end - begin);
+    ++stats_.parity_chunks_sent;
+    stats_.parity_bytes_sent += chunk.size();
+    hooks_.send_chunk(members_[static_cast<std::size_t>(i)], msg,
+                      std::move(chunk));
+  }
+}
+
+void XorScheme::on_chunk(int src_index, const XorChunkMsg& msg,
+                         buf::Buffer chunk) {
+  // Epochs commit monotonically (a rollback targets the LAST committed
+  // epoch, never older), so anything at or below the complete parity's
+  // epoch is a duplicate or a post-rollback re-exchange of what we hold.
+  if (complete_ && msg.epoch <= complete_->epoch) return;
+  int rank = rank_of(src_index);
+  PendingParity& b = building_[msg.epoch];
+  if (b.sizes.empty()) b.sizes.assign(static_cast<std::size_t>(n_), 0);
+  if (!b.contributed.insert(rank).second) return;  // duplicate chunk
+  checksum::xor_fold(b.parity, chunk.bytes());
+  b.sizes[static_cast<std::size_t>(rank)] = msg.image_size;
+  b.iteration = msg.iteration;
+  if (static_cast<int>(b.contributed.size()) < n_ - 1) return;
+  CompleteParity done;
+  done.epoch = msg.epoch;
+  done.iteration = b.iteration;
+  done.parity = std::move(b.parity);
+  done.sizes = std::move(b.sizes);
+  complete_ = std::move(done);
+  // Stale rounds below the completed epoch can never finish.
+  building_.erase(building_.begin(),
+                  building_.upper_bound(complete_->epoch));
+}
+
+std::size_t XorScheme::redundancy_bytes() const {
+  std::size_t bytes = complete_ ? complete_->parity.size() : 0;
+  for (const auto& [epoch, b] : building_) bytes += b.parity.size();
+  return bytes;
+}
+
+void XorScheme::on_rebuild_request(int dead_index, std::uint64_t barrier,
+                                   const Image& verified) {
+  // A usable piece needs this node's verified image AND a complete parity
+  // block for the SAME epoch. A commit whose parity exchange was still in
+  // flight when the group member died fails this test; the manager then
+  // falls back to scratch (deterministic — no waiting on lost chunks).
+  if (!verified.valid || !complete_ || complete_->epoch != verified.epoch) {
+    log_warn("ckpt.xor") << "rebuild piece unusable (verified epoch "
+                         << (verified.valid ? verified.epoch : 0)
+                         << ", parity epoch "
+                         << (complete_ ? complete_->epoch : 0) << ")";
+    hooks_.report_impossible(barrier);
+    return;
+  }
+  XorPieceMsg msg;
+  msg.epoch = verified.epoch;
+  msg.iteration = verified.iteration;
+  msg.barrier = barrier;
+  msg.image_size = verified.image.size();
+  msg.parity.resize(complete_->parity.size());
+  std::transform(complete_->parity.begin(), complete_->parity.end(),
+                 msg.parity.begin(),
+                 [](std::byte b) { return static_cast<std::uint8_t>(b); });
+  msg.member_sizes = complete_->sizes;
+  ++stats_.rebuild_pieces_sent;
+  hooks_.send_piece(dead_index, msg, verified.image.buffer());
+}
+
+void XorScheme::on_piece(int src_index, const XorPieceMsg& msg,
+                         buf::Buffer image) {
+  // Pieces from an older (abandoned) restore wave are dropped by the agent
+  // before reaching here; anything below the newest barrier seen is stale.
+  rebuilds_.erase(rebuilds_.begin(), rebuilds_.lower_bound(msg.barrier));
+  Piece piece;
+  piece.epoch = msg.epoch;
+  piece.iteration = msg.iteration;
+  piece.image_size = msg.image_size;
+  piece.image = std::move(image);
+  piece.parity = msg.parity;
+  piece.member_sizes = msg.member_sizes;
+  rebuilds_[msg.barrier].insert({rank_of(src_index), std::move(piece)});
+  try_reassemble(msg.barrier);
+}
+
+void XorScheme::try_reassemble(std::uint64_t barrier) {
+  auto& pieces = rebuilds_[barrier];
+  if (static_cast<int>(pieces.size()) < n_ - 1) return;
+  // All survivors must agree on the epoch: a commit/rollback racing the
+  // failure can leave the group split across epochs, in which case the
+  // XOR algebra is meaningless and scratch is the only sound answer.
+  const Piece& first = pieces.begin()->second;
+  for (const auto& [rank, p] : pieces) {
+    if (p.epoch != first.epoch ||
+        p.member_sizes.size() != static_cast<std::size_t>(n_)) {
+      log_warn("ckpt.xor") << "rebuild pieces span epochs; giving up";
+      rebuilds_.erase(barrier);
+      hooks_.report_impossible(barrier);
+      return;
+    }
+  }
+  std::uint64_t my_size =
+      first.member_sizes[static_cast<std::size_t>(my_rank_)];
+  std::vector<std::byte> rebuilt;
+  rebuilt.reserve(static_cast<std::size_t>(my_size));
+  for (int t = 0; t < n_ - 1; ++t) {
+    int holder = (t + my_rank_ + 1) % n_;
+    const Piece& hp = pieces.at(holder);
+    std::vector<std::byte> acc(as_bytes(hp.parity).begin(),
+                               as_bytes(hp.parity).end());
+    for (const auto& [rank, p] : pieces) {
+      if (rank == holder) continue;
+      int tc = (holder - rank - 1 + n_) % n_;
+      auto [begin, end] = chunk_range(p.image_size, tc);
+      checksum::xor_fold(acc, p.image.bytes().subspan(begin, end - begin));
+    }
+    auto [mb, me] = chunk_range(my_size, t);
+    std::size_t want = me - mb;
+    if (acc.size() < want) acc.resize(want, std::byte{0});
+    rebuilt.insert(rebuilt.end(), acc.begin(),
+                   acc.begin() + static_cast<std::ptrdiff_t>(want));
+  }
+  ACR_REQUIRE(rebuilt.size() == my_size,
+              "reassembled image has the wrong size");
+  Image img;
+  img.valid = true;
+  img.epoch = first.epoch;
+  img.iteration = first.iteration;
+  img.image = pup::Checkpoint(std::move(rebuilt));
+  img.image.epoch = img.epoch;
+  rebuilds_.erase(barrier);
+  ++stats_.rebuilds_completed;
+  hooks_.restore_rebuilt(std::move(img), barrier);
+}
+
+void XorScheme::reset() {
+  building_.clear();
+  complete_.reset();
+  rebuilds_.clear();
+}
+
+}  // namespace acr::ckpt

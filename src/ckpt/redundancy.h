@@ -1,0 +1,219 @@
+// Pluggable checkpoint-redundancy schemes (the SCR-style trade space).
+//
+// The paper's buddy scheme (§2.1) fully duplicates every verified image
+// across replicas. That is one point on a redundancy-vs-memory curve:
+//
+//   Local    no remote copy at all. Zero extra memory and wire; any hard
+//            failure loses the node's image, so recovery degrades to a
+//            scratch restart. SDC rollback (which only needs the local
+//            verified image) still works.
+//   Partner  the existing buddy path: the cross-replica copy of §2.1,
+//            1x extra memory (held by the buddy), image-sized recovery
+//            transfer over the expensive inter-replica links.
+//   Xor      RAID-5-style parity across a group of N nodes of the SAME
+//            replica. Each member splits its verified image into N-1
+//            chunks and sends chunk sigma(i,m) to holder i; each holder
+//            folds the N-1 chunks it receives (one per other member) into
+//            one parity block of ~L/(N-1) bytes. Any single node of the
+//            group is rebuilt from the N-1 survivors' images + parity —
+//            intra-replica, so a buddy-PAIR loss (fatal under Partner)
+//            is survivable. Two dead in one group lose the image.
+//
+// Chunk layout (the classic RAID-5 rotation, so no node holds parity over
+// its own bytes): member m's image is split into N-1 chunks of length
+// ceil(size_m/(N-1)); holder i != m receives chunk sigma(i,m) = (i-m-1)
+// mod N, which is a bijection in each argument. Holder i's parity is the
+// XOR-fold (zero-extended) of the N-1 chunks it received. To rebuild dead
+// member j's chunk t, the holder is i = (t+j+1) mod N (never j itself):
+// chunk t = parity_i XOR all other members' chunks sigma(i,m).
+//
+// This layer is runtime-agnostic: schemes speak through Hooks callbacks
+// and pup-able message structs; the NodeAgent owns tags and routing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "buf/buffer.h"
+#include "ckpt/group.h"
+#include "ckpt/store.h"
+#include "pup/pup.h"
+#include "pup/stl.h"
+
+namespace acr::ckpt {
+
+enum class Scheme { Local, Partner, Xor };
+
+const char* scheme_name(Scheme s);
+
+/// Parity chunk header: one chunk of the sender's verified image, riding
+/// as the message attachment (zero-copy slice of the stored checkpoint).
+struct XorChunkMsg {
+  std::uint64_t epoch = 0;
+  std::uint64_t iteration = 0;
+  std::uint64_t image_size = 0;  ///< sender's full verified image size
+  void pup(pup::Puper& p) {
+    p | epoch;
+    p | iteration;
+    p | image_size;
+  }
+};
+
+/// Rebuild contribution from one survivor to the promoted spare: the
+/// survivor's full verified image (attachment, zero-copy) plus its group
+/// parity block and the member sizes that parity covers.
+struct XorPieceMsg {
+  std::uint64_t epoch = 0;
+  std::uint64_t iteration = 0;
+  std::uint64_t barrier = 0;     ///< restore wave this rebuild belongs to
+  std::uint64_t image_size = 0;  ///< sender's verified image size
+  std::vector<std::uint8_t> parity;        ///< sender's parity block
+  std::vector<std::uint64_t> member_sizes; ///< image size per group rank
+  void pup(pup::Puper& p) {
+    p | epoch;
+    p | iteration;
+    p | barrier;
+    p | image_size;
+    p | parity;
+    p | member_sizes;
+  }
+};
+
+struct RedundancyStats {
+  std::uint64_t parity_chunks_sent = 0;
+  std::uint64_t parity_bytes_sent = 0;    ///< chunk bytes put on the wire
+  std::uint64_t rebuild_pieces_sent = 0;
+  std::uint64_t rebuilds_completed = 0;   ///< images reassembled on this node
+};
+
+/// Strategy interface. One instance per node agent; the agent forwards
+/// verified-image events and scheme-specific wire traffic here.
+class RedundancyScheme {
+ public:
+  virtual ~RedundancyScheme() = default;
+  virtual Scheme kind() const = 0;
+  const char* name() const { return scheme_name(kind()); }
+
+  /// A new verified image exists on this node (commit promotion or a
+  /// completed restore — the latter matters: a promoted spare's parity
+  /// died with its predecessor and must be re-fed by the group).
+  virtual void on_verified(const Image& img) { (void)img; }
+
+  /// Forget all redundancy state (restart from scratch / re-promotion).
+  virtual void reset() {}
+
+  /// Extra bytes this node holds purely for redundancy (parity blocks).
+  virtual std::size_t redundancy_bytes() const { return 0; }
+
+  const RedundancyStats& stats() const { return stats_; }
+
+ protected:
+  RedundancyStats stats_;
+};
+
+/// No remote copy: the verified image lives only in the node's Store.
+class LocalScheme final : public RedundancyScheme {
+ public:
+  Scheme kind() const override { return Scheme::Local; }
+};
+
+/// The §2.1 buddy copy. The actual shipping/compare path stays in the
+/// NodeAgent (it is fused with SDC detection and must remain bit-identical
+/// to the pre-refactor protocol); this object only names the policy for
+/// the manager's recovery routing.
+class PartnerScheme final : public RedundancyScheme {
+ public:
+  Scheme kind() const override { return Scheme::Partner; }
+};
+
+class XorScheme final : public RedundancyScheme {
+ public:
+  struct Hooks {
+    /// Ship a parity chunk to group member `dst_index` (same replica).
+    std::function<void(int dst_index, const XorChunkMsg& msg,
+                       buf::Buffer chunk)>
+        send_chunk;
+    /// Ship a rebuild piece to the promoted spare at `dst_index`.
+    std::function<void(int dst_index, const XorPieceMsg& msg,
+                       buf::Buffer image)>
+        send_piece;
+    /// This node cannot contribute a usable piece (or received
+    /// inconsistent pieces): the manager must fall back to scratch.
+    std::function<void(std::uint64_t barrier)> report_impossible;
+    /// All pieces arrived and the image was reassembled: restore from it.
+    std::function<void(Image img, std::uint64_t barrier)> restore_rebuilt;
+  };
+
+  XorScheme(const GroupMap& groups, int node_index, Hooks hooks);
+
+  Scheme kind() const override { return Scheme::Xor; }
+  void on_verified(const Image& img) override;
+  void reset() override;
+  std::size_t redundancy_bytes() const override;
+
+  /// A group member's parity chunk arrived. Contributions are tracked as
+  /// identity sets per epoch: a duplicated chunk (at-least-once transport)
+  /// must not XOR-cancel itself out of the parity.
+  void on_chunk(int src_index, const XorChunkMsg& msg, buf::Buffer chunk);
+
+  /// Manager ordered this survivor to feed the spare rebuilding
+  /// `dead_index`. `verified` is the node's current verified image.
+  void on_rebuild_request(int dead_index, std::uint64_t barrier,
+                          const Image& verified);
+
+  /// A survivor's rebuild piece arrived (this node is the spare).
+  void on_piece(int src_index, const XorPieceMsg& msg, buf::Buffer image);
+
+  /// True when a complete parity block for `epoch` is held (tests).
+  bool parity_complete_for(std::uint64_t epoch) const {
+    return complete_ && complete_->epoch == epoch;
+  }
+  int group_size() const { return n_; }
+
+ private:
+  struct PendingParity {
+    std::set<int> contributed;  ///< ranks folded in (identity, not count)
+    std::vector<std::byte> parity;
+    std::uint64_t iteration = 0;
+    std::vector<std::uint64_t> sizes;  ///< image size per rank (0 = self)
+  };
+  struct CompleteParity {
+    std::uint64_t epoch = 0;
+    std::uint64_t iteration = 0;
+    std::vector<std::byte> parity;
+    std::vector<std::uint64_t> sizes;
+  };
+  struct Piece {
+    std::uint64_t epoch = 0;
+    std::uint64_t iteration = 0;
+    std::uint64_t image_size = 0;
+    buf::Buffer image;
+    std::vector<std::uint8_t> parity;
+    std::vector<std::uint64_t> member_sizes;
+  };
+
+  int rank_of(int node_index) const;
+  /// Chunk length for an image of `size` split across the group.
+  std::size_t chunk_len(std::uint64_t size) const;
+  /// Bytes [begin, end) of chunk `t` of an image of `size`.
+  std::pair<std::size_t, std::size_t> chunk_range(std::uint64_t size,
+                                                  int t) const;
+  void try_reassemble(std::uint64_t barrier);
+
+  std::vector<int> members_;  ///< node indices of this group, ascending
+  int n_ = 0;                 ///< group size
+  int my_rank_ = 0;
+  Hooks hooks_;
+
+  std::map<std::uint64_t, PendingParity> building_;  ///< by epoch
+  std::optional<CompleteParity> complete_;
+  /// Rebuild pieces received while playing the spare, by restore barrier
+  /// then sender rank (identity-keyed: duplicates overwrite, never add).
+  std::map<std::uint64_t, std::map<int, Piece>> rebuilds_;
+};
+
+}  // namespace acr::ckpt

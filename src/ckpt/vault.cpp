@@ -1,4 +1,4 @@
-#include "pup/storage.h"
+#include "ckpt/vault.h"
 
 #include <algorithm>
 #include <cstring>
@@ -8,7 +8,7 @@
 #include "checksum/fletcher.h"
 #include "common/require.h"
 
-namespace acr::pup {
+namespace acr::ckpt {
 
 namespace {
 
@@ -70,10 +70,10 @@ std::optional<StoredImage> CheckpointVault::load(std::uint64_t epoch) const {
   Header h{};
   in.read(reinterpret_cast<char*>(&h), sizeof h);
   if (!in.good() || h.magic != kMagic)
-    throw StreamError("checkpoint file " + path.string() +
+    throw pup::StreamError("checkpoint file " + path.string() +
                       " has a bad header");
   if (h.version != kVersion)
-    throw StreamError("checkpoint file " + path.string() +
+    throw pup::StreamError("checkpoint file " + path.string() +
                       " has unsupported version " + std::to_string(h.version));
 
   std::vector<std::byte> payload(static_cast<std::size_t>(h.payload_bytes));
@@ -82,20 +82,20 @@ std::optional<StoredImage> CheckpointVault::load(std::uint64_t epoch) const {
   std::uint64_t trailer = 0;
   in.read(reinterpret_cast<char*>(&trailer), sizeof trailer);
   if (!in.good())
-    throw StreamError("checkpoint file " + path.string() + " is truncated");
+    throw pup::StreamError("checkpoint file " + path.string() + " is truncated");
 
   checksum::Fletcher64 digest;
   digest.append(std::span<const std::byte>(
       reinterpret_cast<const std::byte*>(&h), sizeof h));
   digest.append(payload);
   if (digest.digest() != trailer)
-    throw StreamError("checkpoint file " + path.string() +
+    throw pup::StreamError("checkpoint file " + path.string() +
                       " failed its integrity check (on-disk corruption)");
 
   StoredImage out;
   out.epoch = h.epoch;
   out.iteration = h.iteration;
-  out.image = Checkpoint(std::move(payload));
+  out.image = pup::Checkpoint(std::move(payload));
   out.image.epoch = h.epoch;
   return out;
 }
@@ -126,7 +126,7 @@ std::optional<StoredImage> CheckpointVault::load_latest() const {
     try {
       std::optional<StoredImage> img = load(*it);
       if (img) return img;
-    } catch (const StreamError&) {
+    } catch (const pup::StreamError&) {
       continue;  // corrupt file: fall back to the previous epoch
     }
   }
@@ -139,4 +139,4 @@ void CheckpointVault::prune(std::uint64_t keep_from_epoch) const {
       std::filesystem::remove(path_for(epoch));
 }
 
-}  // namespace acr::pup
+}  // namespace acr::ckpt

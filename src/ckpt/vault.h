@@ -1,0 +1,69 @@
+// Durable checkpoint storage (the ckpt layer's FILE tier).
+//
+// The paper's ACR keeps checkpoints in memory (its in-memory double
+// checkpointing is what makes recovery fast; §1 contrasts this with
+// disk-based checkpoint/restart whose cost "may be prohibitive"). A
+// production framework still wants an optional durable tier — the analogue
+// of SCR's FILE level — for restarts that survive whole-machine loss.
+//
+// CheckpointVault writes each checkpoint as a self-validating file:
+//
+//   [magic u32][version u32][epoch u64][iteration u64]
+//   [payload length u64][payload bytes][fletcher64 of header+payload]
+//
+// Loads verify the trailer digest, so on-disk corruption (the SDC story,
+// continued at the storage layer) is detected rather than restored.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pup/pup.h"
+
+namespace acr::ckpt {
+
+/// A checkpoint image annotated with its protocol coordinates.
+struct StoredImage {
+  std::uint64_t epoch = 0;
+  std::uint64_t iteration = 0;
+  pup::Checkpoint image;
+};
+
+class CheckpointVault {
+ public:
+  /// Files are placed under `directory` (created if absent) as
+  /// "<prefix>.e<epoch>.ckpt".
+  CheckpointVault(std::filesystem::path directory, std::string prefix);
+
+  /// Write (atomically: temp file + rename). Returns the final path.
+  std::filesystem::path store(const StoredImage& ckpt) const;
+
+  /// Load a specific epoch. Returns nullopt if the file is missing;
+  /// throws StreamError if it exists but is corrupt (bad magic, truncated,
+  /// or digest mismatch).
+  std::optional<StoredImage> load(std::uint64_t epoch) const;
+
+  /// Newest epoch with a loadable (valid) file, or nullopt. Corrupt files
+  /// are skipped — an interrupted write must not block restart from an
+  /// older checkpoint.
+  std::optional<StoredImage> load_latest() const;
+
+  /// Epochs present on disk (valid or not), ascending.
+  std::vector<std::uint64_t> epochs_on_disk() const;
+
+  /// Delete everything older than `keep_from_epoch`.
+  void prune(std::uint64_t keep_from_epoch) const;
+
+  const std::filesystem::path& directory() const { return directory_; }
+
+ private:
+  std::filesystem::path path_for(std::uint64_t epoch) const;
+
+  std::filesystem::path directory_;
+  std::string prefix_;
+};
+
+}  // namespace acr::ckpt

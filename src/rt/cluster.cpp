@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "checksum/crc32c.h"
+#include "checksum/fold.h"
 #include "common/logging.h"
 
 namespace acr::rt {
@@ -49,11 +49,22 @@ const TraceEvent* TraceLog::find_first(TraceKind kind, double t) const {
 Cluster::Cluster(Engine& engine, const ClusterConfig& config)
     : engine_(engine),
       config_(config),
+      ckpt_groups_(config.nodes_per_replica, config.ckpt_group_size),
       jitter_rng_(config.seed, 77),
       net_injector_(config.net_faults, config.seed ^ 0x9E7FA017C0FFEE11ULL),
       transport_(config.reliable, make_transport_hooks()) {
   ACR_REQUIRE(config.nodes_per_replica > 0, "need at least one node");
   ACR_REQUIRE(config.spare_nodes >= 0, "spare count must be non-negative");
+}
+
+std::vector<int> Cluster::live_group_peers(int replica, int node_index) {
+  std::vector<int> peers;
+  if (!ckpt_groups_.enabled()) return peers;
+  for (int m : ckpt_groups_.group_members(node_index)) {
+    if (m == node_index) continue;
+    if (role_alive(replica, m)) peers.push_back(m);
+  }
+  return peers;
 }
 
 void Cluster::map_onto_torus(const topo::Torus3D& torus,
@@ -312,7 +323,7 @@ void Cluster::route_reliable(int src_endpoint, int dst_endpoint, Message m,
                m.src_replica != m.dst_replica;
   WireMsg w;
   w.latency = service_latency(inter, wire_bytes);
-  w.crc = checksum::crc32c(m.payload.bytes());
+  w.crc = checksum::buffer_crc32c(m.payload);
   w.m = std::move(m);
   outbox_ = std::move(w);
   transport_.send(link, outbox_->latency);
@@ -366,7 +377,7 @@ void Cluster::frame_arrived(net::LinkKey link,
     buf::Buffer damaged = w.m.payload;
     damaged.mutable_bytes()[corrupt_byte] ^=
         static_cast<std::byte>(1u << corrupt_bit);
-    if (checksum::crc32c(damaged.bytes()) != w.crc) {
+    if (checksum::buffer_crc32c(damaged) != w.crc) {
       ++net_counters_.crc_drops;
       return;  // dropped at the NIC: no ack, retransmit covers it
     }

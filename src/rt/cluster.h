@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/group.h"
 #include "common/rng.h"
 #include "failure/net_faults.h"
 #include "net/link_load.h"
@@ -98,6 +99,12 @@ struct ClusterConfig {
   /// Reliable-delivery tuning (retry budget, timeouts, window).
   net::ReliableConfig reliable;
 
+  /// Checkpoint parity-group width (ckpt layer, XOR scheme): consecutive
+  /// node indices of each replica form groups of this size for parity
+  /// exchange and rebuild routing. <= 0 disables grouping (local/partner
+  /// schemes need none).
+  int ckpt_group_size = 0;
+
   std::uint64_t seed = 0xAC0FF00DULL;
 };
 
@@ -136,6 +143,13 @@ class Cluster {
   }
   int num_physical_nodes() const { return static_cast<int>(nodes_.size()); }
   int spares_remaining() const;
+
+  /// Checkpoint parity-group membership (per replica; groups never span
+  /// replicas). Empty/disabled unless ckpt_group_size was configured.
+  const ckpt::GroupMap& ckpt_groups() const { return ckpt_groups_; }
+  /// Members of (replica, node_index)'s parity group that are currently
+  /// alive, excluding node_index itself.
+  std::vector<int> live_group_peers(int replica, int node_index);
 
   // --- messaging ---------------------------------------------------------------
   /// Task-to-task within a replica. The payload Buffer is shared, not
@@ -267,6 +281,7 @@ class Cluster {
   ClusterConfig config_;
   TraceLog trace_;
   TaskFactory factory_;
+  ckpt::GroupMap ckpt_groups_;
 
   std::vector<std::unique_ptr<Node>> nodes_;
   /// role_table_[replica][node_index] -> physical id (-1 when unmanned).

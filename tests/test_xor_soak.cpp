@@ -1,0 +1,244 @@
+// XOR-redundancy fault soak.
+//
+// Property (ISSUE acceptance): under --ckpt-scheme=xor, killing any single
+// node per parity group mid-run must be survivable — every run completes
+// and its verified answer is bitwise identical to the fault-free answer.
+// The group rebuild may legitimately fall back to a scratch restart when a
+// member dies inside the commit→parity-exchange window (survivor parity
+// lags the verified epoch), so scratch_restarts is not asserted zero; the
+// bitwise answer is the contract.
+//
+// Runs under the `xor-soak` ctest label (CI runs it with ASan/UBSan).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "acr/runtime.h"
+#include "apps/jacobi3d.h"
+#include "checksum/fletcher.h"
+#include "ckpt/group.h"
+#include "common/rng.h"
+#include "failure/distributions.h"
+
+namespace acr {
+namespace {
+
+constexpr int kGroupSize = 4;
+
+apps::Jacobi3DConfig soak_app() {
+  apps::Jacobi3DConfig cfg;
+  cfg.tasks_x = cfg.tasks_y = 2;
+  cfg.tasks_z = 4;
+  cfg.block_x = cfg.block_y = cfg.block_z = 4;
+  cfg.iterations = 40;
+  cfg.slots_per_node = 2;  // 8 nodes per replica -> 2 xor groups of 4
+  cfg.seconds_per_point = 1e-5;
+  return cfg;
+}
+
+AcrConfig soak_acr_config() {
+  AcrConfig ac;
+  ac.scheme = ResilienceScheme::Strong;  // xor requires strong
+  ac.redundancy = ckpt::Scheme::Xor;
+  ac.xor_group_size = kGroupSize;
+  ac.checkpoint_interval = 0.003;
+  ac.heartbeat_period = 0.0004;
+  ac.heartbeat_timeout = 0.0016;
+  return ac;
+}
+
+std::uint64_t verified_digest(AcrRuntime& runtime) {
+  checksum::Fletcher64 f;
+  for (int i = 0; i < runtime.cluster().nodes_per_replica(); ++i) {
+    NodeAgent& a = runtime.agent_at(0, i);
+    NodeAgent& b = runtime.agent_at(1, i);
+    const NodeAgent& best = a.verified_epoch() >= b.verified_epoch() ? a : b;
+    f.append(best.verified_image());
+  }
+  return f.digest();
+}
+
+struct Reference {
+  std::uint64_t digest = 0;
+  double finish_time = 0.0;
+};
+
+/// Fault-free run under the *xor* configuration: fixes the expected answer
+/// and the nominal completion time the kill schedule is drawn from (and
+/// doubles as a check that the parity exchange itself is harmless).
+const Reference& reference() {
+  static Reference cached = [] {
+    apps::Jacobi3DConfig j = soak_app();
+    AcrConfig ac = soak_acr_config();
+    rt::ClusterConfig cc;
+    cc.nodes_per_replica = j.nodes_needed();
+    cc.spare_nodes = 0;
+    AcrRuntime runtime(ac, cc);
+    runtime.set_task_factory(j.factory());
+    runtime.setup();
+    RunSummary s = runtime.run(1e3);
+    ACR_REQUIRE(s.complete, "xor soak reference run must complete");
+    ACR_REQUIRE(s.parity_chunks_sent > 0, "xor parity exchange never ran");
+    Reference ref;
+    ref.digest = verified_digest(runtime);
+    ref.finish_time = s.finish_time;
+    return ref;
+  }();
+  return cached;
+}
+
+/// One soak run: for every parity group in every replica, schedule the
+/// death of one uniformly chosen member at a uniformly chosen time within
+/// the nominal run. Returns the summary plus the verified digest.
+struct SoakOutcome {
+  RunSummary summary;
+  std::uint64_t digest = 0;
+  int kills = 0;
+};
+
+SoakOutcome soak_run(std::uint64_t seed) {
+  apps::Jacobi3DConfig j = soak_app();
+  AcrConfig ac = soak_acr_config();
+  rt::ClusterConfig cc;
+  cc.nodes_per_replica = j.nodes_needed();
+  cc.spare_nodes = 16;
+  cc.seed = seed;
+  AcrRuntime runtime(ac, cc);
+  runtime.set_task_factory(j.factory());
+  runtime.setup();
+
+  ckpt::GroupMap groups(cc.nodes_per_replica, kGroupSize);
+  ACR_REQUIRE(groups.enabled(), "soak requires grouping");
+  Pcg32 rng(seed, 0x50AF);
+  SoakOutcome out;
+  for (int r = 0; r < 2; ++r) {
+    for (int g = 0; g < groups.num_groups(); ++g) {
+      std::vector<int> members =
+          groups.group_members(g * kGroupSize);  // any member's index works
+      int victim = members[rng.bounded(
+          static_cast<std::uint32_t>(members.size()))];
+      // Anywhere from before the first checkpoint to just shy of the end.
+      double when = reference().finish_time * (0.02 + 0.93 * rng.uniform());
+      runtime.engine().schedule_at(when, [&runtime, r, victim] {
+        if (!runtime.cluster().role_alive(r, victim)) return;
+        runtime.cluster().kill_role(r, victim);
+      });
+      ++out.kills;
+    }
+  }
+
+  out.summary = runtime.run(/*max_virtual_time=*/30.0);
+  if (out.summary.complete) {
+    runtime.engine().run_until(out.summary.finish_time + 0.05);
+    out.digest = verified_digest(runtime);
+  }
+  return out;
+}
+
+class XorSoak : public ::testing::TestWithParam<int> {};
+
+TEST_P(XorSoak, OneKillPerGroupRecoversBitwise) {
+  std::uint64_t seed = 120000 + static_cast<std::uint64_t>(GetParam()) * 4813;
+  SoakOutcome o = soak_run(seed);
+  EXPECT_EQ(o.kills, 4);  // 2 replicas x 2 groups
+  ASSERT_TRUE(o.summary.complete)
+      << "wedged or failed at t=" << o.summary.finish_time << " (seed "
+      << seed << ", scratch=" << o.summary.scratch_restarts << ")";
+  EXPECT_EQ(o.digest, reference().digest) << "seed " << seed;
+  // A kill landing just before completion can legitimately go undetected
+  // (the job finishes inside the heartbeat timeout), so only an upper
+  // bound holds.
+  EXPECT_LE(o.summary.hard_failures, static_cast<std::uint64_t>(o.kills))
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XorSoak, ::testing::Range(0, 110));
+
+// ---------------------------------------------------------------------------
+// Targeted scenarios.
+// ---------------------------------------------------------------------------
+
+/// Under the partner scheme, losing both buddies of a node index forces a
+/// scratch restart (neither replica holds the verified image any more).
+/// Under xor the two buddies sit in *different* parity groups (one per
+/// replica), so both rebuild independently from their group peers.
+TEST(XorTargeted, BuddyPairLossIsSurvivable) {
+  apps::Jacobi3DConfig j = soak_app();
+  AcrConfig ac = soak_acr_config();
+  rt::ClusterConfig cc;
+  cc.nodes_per_replica = j.nodes_needed();
+  cc.spare_nodes = 8;
+  cc.seed = 77;
+  AcrRuntime runtime(ac, cc);
+  runtime.set_task_factory(j.factory());
+  runtime.setup();
+  double mid = reference().finish_time * 0.5;
+  runtime.engine().schedule_at(mid, [&runtime] {
+    runtime.cluster().kill_role(0, 3);
+  });
+  runtime.engine().schedule_at(mid * 1.2, [&runtime] {
+    runtime.cluster().kill_role(1, 3);
+  });
+  RunSummary s = runtime.run(30.0);
+  ASSERT_TRUE(s.complete) << "buddy-pair loss not survived under xor";
+  runtime.engine().run_until(s.finish_time + 0.05);
+  EXPECT_EQ(verified_digest(runtime), reference().digest);
+  EXPECT_GE(s.xor_rebuilds, 1u);
+}
+
+/// Two dead members in the *same* group exceed single-parity coverage; the
+/// manager must fall back to a scratch restart — and the job must still
+/// finish with the right answer.
+TEST(XorTargeted, TwoDeadInOneGroupFallsBackToScratch) {
+  apps::Jacobi3DConfig j = soak_app();
+  AcrConfig ac = soak_acr_config();
+  rt::ClusterConfig cc;
+  cc.nodes_per_replica = j.nodes_needed();
+  cc.spare_nodes = 8;
+  cc.seed = 78;
+  AcrRuntime runtime(ac, cc);
+  runtime.set_task_factory(j.factory());
+  runtime.setup();
+  double mid = reference().finish_time * 0.5;
+  // Same group (indices 0..3 of replica 0), near-simultaneous deaths: the
+  // second falls while the first group rebuild is still in flight.
+  runtime.engine().schedule_at(mid, [&runtime] {
+    runtime.cluster().kill_role(0, 1);
+  });
+  runtime.engine().schedule_at(mid + 1e-5, [&runtime] {
+    runtime.cluster().kill_role(0, 2);
+  });
+  RunSummary s = runtime.run(30.0);
+  ASSERT_TRUE(s.complete) << "double-death in one group wedged the job";
+  runtime.engine().run_until(s.finish_time + 0.05);
+  EXPECT_EQ(verified_digest(runtime), reference().digest);
+}
+
+/// The local scheme keeps no cross-node redundancy at all: any hard failure
+/// after the first commit still completes, but only ever by scratch restart.
+TEST(XorTargeted, LocalSchemeRecoversOnlyFromScratch) {
+  apps::Jacobi3DConfig j = soak_app();
+  AcrConfig ac = soak_acr_config();
+  ac.redundancy = ckpt::Scheme::Local;
+  ac.xor_group_size = 0;
+  rt::ClusterConfig cc;
+  cc.nodes_per_replica = j.nodes_needed();
+  cc.spare_nodes = 8;
+  cc.seed = 79;
+  AcrRuntime runtime(ac, cc);
+  runtime.set_task_factory(j.factory());
+  runtime.setup();
+  double mid = reference().finish_time * 0.5;
+  runtime.engine().schedule_at(mid, [&runtime] {
+    runtime.cluster().kill_role(0, 5);
+  });
+  RunSummary s = runtime.run(30.0);
+  ASSERT_TRUE(s.complete);
+  EXPECT_EQ(s.scratch_restarts, 1u);
+  EXPECT_EQ(s.xor_rebuilds, 0u);
+  runtime.engine().run_until(s.finish_time + 0.05);
+  EXPECT_EQ(verified_digest(runtime), reference().digest);
+}
+
+}  // namespace
+}  // namespace acr
