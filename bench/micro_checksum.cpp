@@ -2,18 +2,26 @@
 // hardware. Sending the full checkpoint costs one pass over the data
 // (copy into the message buffer, beta per byte on the wire); the checksum
 // costs ~4 instructions per byte of compute but ships 8 bytes. The paper's
-// criterion: checksum wins iff gamma < beta / 4.
+// criterion: checksum wins iff gamma < beta / 4 — which is exactly why the
+// per-byte digest cost matters: the kernel-layer benches below pin the
+// portable vs SSE4.2 CRC32C rates, the streaming FoldSink rate at the
+// pack-tee's real 4 KiB write granularity, and the xor parity fold rate.
 //
 // Also measures the PUP pack / compare rates that calibrate the phase
 // model, so the calibration is reproducible on the build machine.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
+#include <span>
 #include <vector>
 
 #include "checksum/crc32c.h"
 #include "checksum/fletcher.h"
+#include "checksum/kernels.h"
+#include "checksum/sink.h"
 #include "common/rng.h"
+#include "parallel/pool.h"
 #include "pup/checker.h"
 #include "pup/pup.h"
 
@@ -25,6 +33,17 @@ std::vector<std::byte> make_buffer(std::size_t size) {
   for (auto& b : buf) b = static_cast<std::byte>(rng.bounded(256));
   return buf;
 }
+
+/// Pin the CRC32C kernel for the duration of one benchmark, then restore
+/// auto-dispatch so the remaining benches measure the default config.
+struct ScopedKernel {
+  explicit ScopedKernel(acr::checksum::KernelImpl impl) {
+    acr::checksum::set_kernel_impl(impl);
+  }
+  ~ScopedKernel() {
+    acr::checksum::set_kernel_impl(acr::checksum::KernelImpl::Auto);
+  }
+};
 
 void BM_Fletcher64(benchmark::State& state) {
   auto buf = make_buffer(static_cast<std::size_t>(state.range(0)));
@@ -57,6 +76,111 @@ void BM_Crc32c(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_Crc32c)->Range(1 << 10, 1 << 22);
+
+// --- kernel layer: dispatch, streaming sinks, parity fold -------------------
+
+void BM_Crc32cPortable(benchmark::State& state) {
+  ScopedKernel pin(acr::checksum::KernelImpl::Portable);
+  auto buf = make_buffer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acr::checksum::crc32c(buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32cPortable)->Range(1 << 10, 1 << 22);
+
+void BM_Crc32cHw(benchmark::State& state) {
+  if (!acr::checksum::hw_kernels_available()) {
+    state.SkipWithError("SSE4.2 not available on this CPU");
+    return;
+  }
+  ScopedKernel pin(acr::checksum::KernelImpl::Hw);
+  auto buf = make_buffer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acr::checksum::crc32c(buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32cHw)->Range(1 << 10, 1 << 22);
+
+// Chunk-parallel digest of a large image; range(1) = kernel threads.
+void BM_Crc32cChunked(benchmark::State& state) {
+  auto buf = make_buffer(static_cast<std::size_t>(state.range(0)));
+  acr::parallel::set_global_threads(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acr::checksum::crc32c_chunked(buf));
+  }
+  acr::parallel::set_global_threads(0);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32cChunked)
+    ->Args({1 << 22, 0})
+    ->Args({1 << 22, 2})
+    ->Args({1 << 22, 4});
+
+// Streaming digest at the pack-tee's real access pattern: the PUP packer
+// hands the FoldSink a run of small writes (records are 9-byte headers plus
+// payload slabs), not one giant span. 4 KiB writes model the slab case;
+// this is the rate the one-pass checksum epoch actually sees.
+template <typename Sink>
+void stream_fold(benchmark::State& state) {
+  constexpr std::size_t kWrite = 4096;
+  auto buf = make_buffer(static_cast<std::size_t>(state.range(0)));
+  std::span<const std::byte> all(buf);
+  for (auto _ : state) {
+    Sink sink;
+    for (std::size_t pos = 0; pos < all.size(); pos += kWrite)
+      sink.write(all.subspan(pos, std::min(kWrite, all.size() - pos)));
+    benchmark::DoNotOptimize(sink.digest());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_FoldSinkFletcher64_4KWrites(benchmark::State& state) {
+  stream_fold<acr::checksum::Fletcher64Sink>(state);
+}
+BENCHMARK(BM_FoldSinkFletcher64_4KWrites)->Range(1 << 12, 1 << 22);
+
+void BM_FoldSinkCrc32c_4KWrites(benchmark::State& state) {
+  stream_fold<acr::checksum::Crc32cSink>(state);
+}
+BENCHMARK(BM_FoldSinkCrc32c_4KWrites)->Range(1 << 12, 1 << 22);
+
+// The RAID-5 parity fold as the ckpt layer runs it: xor an arriving group
+// chunk into the accumulating parity block, measured as used (same-length
+// fold into an existing accumulator).
+void BM_XorFold(benchmark::State& state) {
+  auto add = make_buffer(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::byte> acc(add.size(), std::byte{0});
+  for (auto _ : state) {
+    acr::checksum::xor_fold(acc, add);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_XorFold)->Range(1 << 10, 1 << 22);
+
+void BM_XorFoldChunked(benchmark::State& state) {
+  auto add = make_buffer(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::byte> acc(add.size(), std::byte{0});
+  acr::parallel::set_global_threads(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    acr::checksum::xor_fold_chunked(acc, add);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  acr::parallel::set_global_threads(0);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_XorFoldChunked)
+    ->Args({1 << 22, 0})
+    ->Args({1 << 22, 2})
+    ->Args({1 << 22, 4});
 
 struct BigState {
   std::vector<double> a, b, c;

@@ -16,6 +16,8 @@
 #include "acr/runtime.h"
 #include "acr/stats.h"
 #include "apps/hpccg.h"
+#include "checksum/kernels.h"
+#include "parallel/pool.h"
 #include "apps/jacobi3d.h"
 #include "apps/leanmd.h"
 #include "apps/minilulesh.h"
@@ -45,6 +47,8 @@ int main(int argc, char** argv) {
   double net_reorder = 0.0;
   double net_corrupt = 0.0;
   int net_retry_budget = 10;
+  std::string kernel_impl = "auto";
+  int kernel_threads = 0;
   std::uint64_t seed = 1;
   bool trace = false;
 
@@ -86,6 +90,14 @@ int main(int argc, char** argv) {
                  "per-frame in-flight bit-flip probability [0,1]");
   cli.add_int("net-retry-budget", &net_retry_budget,
               "retransmits per frame before a link is declared failed");
+  cli.add_choice("kernel-impl", &kernel_impl, {"auto", "portable", "hw"},
+                 "data-plane CRC32C kernel: auto (cpuid), portable "
+                 "(slicing-by-8 tables), hw (SSE4.2 crc32q); digests are "
+                 "bit-identical either way");
+  cli.add_int("kernel-threads", &kernel_threads,
+              "worker threads for chunked digests / parity folds / image "
+              "copies below the DES (0 = serial; simulation output is "
+              "bit-identical at any value)");
   cli.add_uint64("seed", &seed, "master random seed");
   cli.add_flag("trace", &trace, "print the full protocol event trace");
   if (!cli.parse(argc, argv)) return 2;
@@ -106,6 +118,22 @@ int main(int argc, char** argv) {
                  net_retry_budget);
     return 2;
   }
+  if (kernel_impl == "hw" && !checksum::hw_kernels_available()) {
+    std::fprintf(stderr,
+                 "error: --kernel-impl=hw but this CPU has no SSE4.2; use "
+                 "auto or portable\n");
+    return 2;
+  }
+  if (kernel_threads < 0) {
+    std::fprintf(stderr, "error: --kernel-threads=%d must be >= 0\n",
+                 kernel_threads);
+    return 2;
+  }
+  checksum::set_kernel_impl(kernel_impl == "portable"
+                                ? checksum::KernelImpl::Portable
+                            : kernel_impl == "hw" ? checksum::KernelImpl::Hw
+                                                  : checksum::KernelImpl::Auto);
+  parallel::set_global_threads(kernel_threads);
   if (xor_group_size != 0 && ckpt_scheme != "xor") {
     std::fprintf(stderr,
                  "error: --xor-group-size only applies to --ckpt-scheme=xor "

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "checksum/kernels.h"
 #include "checksum/sink.h"
 #include "common/logging.h"
+#include "parallel/pool.h"
 #include "pup/checker.h"
 
 namespace acr {
@@ -439,14 +441,23 @@ void NodeAgent::handle_pack_command(const wire::EpochMsg& msg) {
 }
 
 void NodeAgent::pack_candidate() {
-  // Checksum mode folds the buddy digest in the SAME traversal that packs
-  // the image (§4.2): the Fletcher sink tees off the packer's byte stream,
-  // so there is no second pass over the checkpoint after packing.
-  bool stream_digest = env_.config->detection == SdcDetection::Checksum &&
-                       !single_replica_ckpt_;
+  // Checksum mode needs the buddy digest of the packed image (§4.2). With
+  // a serial kernel pool, fold it in the SAME traversal that packs the
+  // image: the Fletcher sink tees off the packer's byte stream, so there is
+  // no second pass over the checkpoint. With kernel workers enabled, pack
+  // plain (the tee would serialize the digest behind the single-threaded
+  // packer) and digest the finished, cache-warm image chunk-parallel
+  // instead. Both paths produce the identical Fletcher-64 value — the
+  // chunked driver merges with the exact combine operator — so the choice
+  // never shows in the protocol.
+  bool want_digest = env_.config->detection == SdcDetection::Checksum &&
+                     !single_replica_ckpt_;
+  bool stream_digest = want_digest && parallel::global_threads() == 0;
   checksum::Fletcher64Sink digest;
   pup::Checkpoint image = node_.pack_state(stream_digest ? &digest : nullptr);
-  if (stream_digest) local_digest_ = digest.digest();
+  if (want_digest)
+    local_digest_ = stream_digest ? digest.digest()
+                                  : checksum::fletcher64_chunked(image.bytes());
   double bytes = static_cast<double>(image.size());
   store_.stage_candidate(epoch_, decided_iteration_, std::move(image));
   ++checkpoints_packed_;

@@ -1,39 +1,95 @@
 #include "checksum/crc32c.h"
 
-#include <array>
+#include "checksum/kernels.h"
 
 namespace acr::checksum {
 
-namespace {
-
-// Table for the Castagnoli polynomial 0x1EDC6F41 (reflected: 0x82F63B78).
-constexpr std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t crc = i;
-    for (int bit = 0; bit < 8; ++bit)
-      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
-    table[i] = crc;
-  }
-  return table;
-}
-
-constexpr std::array<std::uint32_t, 256> kTable = make_table();
-
-}  // namespace
-
 void Crc32c::append(std::span<const std::byte> block) {
-  std::uint32_t crc = state_;
-  for (std::byte b : block)
-    crc = (crc >> 8) ^
-          kTable[(crc ^ static_cast<std::uint32_t>(b)) & 0xFFu];
-  state_ = crc;
+  state_ = kernels::crc32c_update(state_, block);
 }
 
 std::uint32_t crc32c(std::span<const std::byte> data) {
   Crc32c c;
   c.append(data);
   return c.digest();
+}
+
+// ---------------------------------------------------------------------------
+// GF(2) shift-matrix combine (the zlib crc32_combine construction).
+//
+// Appending one zero BYTE to a message multiplies its CRC register by x^8
+// in GF(2)[x]/poly — a linear map over the 32 register bits, i.e. a 32x32
+// bit matrix. Appending |B| zero bytes is that matrix raised to the |B|th
+// power, computed in O(log |B|) squarings. Then
+//   crc(A ++ B) = M^|B| * crc(A)  ^  crc(B)
+// because CRC of the concatenation is the CRC of A zero-extended by |B|
+// bytes xored with the CRC of B (linearity), and the pre/final xor
+// conditioning cancels exactly as in zlib.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// mat is a 32x32 GF(2) matrix, one uint32 column-vector per input bit.
+std::uint32_t gf2_matrix_times(const std::uint32_t* mat, std::uint32_t vec) {
+  std::uint32_t sum = 0;
+  while (vec != 0) {
+    if (vec & 1u) sum ^= *mat;
+    vec >>= 1;
+    ++mat;
+  }
+  return sum;
+}
+
+void gf2_matrix_square(std::uint32_t* square, const std::uint32_t* mat) {
+  for (int n = 0; n < 32; ++n) square[n] = gf2_matrix_times(mat, mat[n]);
+}
+
+}  // namespace
+
+std::uint32_t crc32c_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                             std::uint64_t len_b) {
+  if (len_b == 0) return crc_a;
+
+  std::uint32_t even[32];  // operator for 2^(2k+1) zero bits
+  std::uint32_t odd[32];   // operator for 2^(2k) zero bits
+
+  // Operator for one zero bit: shift right, feeding the polynomial back in
+  // (reflected representation).
+  odd[0] = 0x82F63B78u;
+  std::uint32_t row = 1;
+  for (int n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  gf2_matrix_square(even, odd);  // two zero bits
+  gf2_matrix_square(odd, even);  // four zero bits
+
+  // Walk the bits of len_b (in bytes → start from 8 zero-bit operator by
+  // squaring once more per level), applying the operator for each set bit.
+  std::uint64_t len = len_b;
+  do {
+    gf2_matrix_square(even, odd);
+    if (len & 1u) crc_a = gf2_matrix_times(even, crc_a);
+    len >>= 1;
+    if (len == 0) break;
+    gf2_matrix_square(odd, even);
+    if (len & 1u) crc_a = gf2_matrix_times(odd, crc_a);
+    len >>= 1;
+  } while (len != 0);
+
+  return crc_a ^ crc_b;
+}
+
+std::uint32_t crc32c_flip_delta(std::uint64_t len, std::uint64_t byte_index,
+                                int bit_index) {
+  // Raw (zero-init) CRC register after the delta byte, then advanced past
+  // the message tail. crc32c_combine(x, 0, z) is exactly the "advance x by
+  // z zero bytes" linear operator — the conditioning constants cancel in
+  // the xor against the clean digest.
+  const std::byte delta{static_cast<unsigned char>(1u << bit_index)};
+  std::uint32_t reg =
+      kernels::crc32c_update(0u, std::span<const std::byte>(&delta, 1));
+  return crc32c_combine(reg, 0u, len - 1 - byte_index);
 }
 
 }  // namespace acr::checksum

@@ -107,4 +107,37 @@ std::uint64_t Fletcher64::digest() const {
 
 void Fletcher64::reset() { *this = Fletcher64{}; }
 
+std::uint64_t fletcher64_combine(std::uint64_t digest_a,
+                                 std::uint64_t digest_b,
+                                 std::uint64_t len_b) {
+  std::uint64_t s1a = digest_a & 0xFFFFFFFFULL, s2a = digest_a >> 32;
+  std::uint64_t s1b = digest_b & 0xFFFFFFFFULL, s2b = digest_b >> 32;
+  std::uint64_t nb = ((len_b + 3) / 4) % kMod32;  // words in B, incl. padded tail
+  std::uint64_t s1 = (s1a + s1b) % kMod32;
+  // Every word of A also feeds B's nb prefix-sums: nb * s1a cross term.
+  // Max value: (2^32-2)^2 + 2*(2^32-2) < 2^64, so plain uint64 arithmetic.
+  std::uint64_t s2 = (nb * s1a + s2a + s2b) % kMod32;
+  return (s2 << 32) | s1;
+}
+
+std::uint32_t fletcher32_combine(std::uint32_t digest_a,
+                                 std::uint32_t digest_b,
+                                 std::uint64_t len_b) {
+  constexpr std::uint64_t kMod16 = 0xFFFFULL;
+  std::uint64_t s1a = (digest_a & 0xFFFFu) % kMod16;
+  std::uint64_t s2a = (digest_a >> 16) % kMod16;
+  std::uint64_t s1b = (digest_b & 0xFFFFu) % kMod16;
+  std::uint64_t s2b = (digest_b >> 16) % kMod16;
+  std::uint64_t nb = ((len_b + 1) / 2) % kMod16;  // 16-bit words in B
+  std::uint32_t s1 = static_cast<std::uint32_t>((s1a + s1b) % kMod16);
+  std::uint32_t s2 =
+      static_cast<std::uint32_t>((nb * s1a + s2a + s2b) % kMod16);
+  // fletcher32() reduces by ones'-complement folding from sums that start
+  // positive, so its zero residue is always represented as 0xFFFF; match
+  // that canonical form for bit-identical digests.
+  if (s1 == 0) s1 = 0xFFFFu;
+  if (s2 == 0) s2 = 0xFFFFu;
+  return (s2 << 16) | s1;
+}
+
 }  // namespace acr::checksum

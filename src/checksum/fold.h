@@ -13,6 +13,7 @@
 #include "buf/buffer.h"
 #include "checksum/crc32c.h"
 #include "checksum/fletcher.h"
+#include "checksum/kernels.h"
 
 namespace acr::checksum {
 
@@ -42,19 +43,22 @@ class FoldSink final : public buf::Sink {
 
 /// One-call frame digest: the send-time / arrival-time integrity check of
 /// the reliable transport, and anything else digesting a whole Buffer.
+/// Chunk-parallel and hardware-dispatched via the kernel layer.
 inline std::uint32_t buffer_crc32c(const buf::Buffer& b) {
-  return crc32c(b.bytes());
+  return crc32c_chunked(b.bytes());
 }
 
 /// XOR `add` into `acc`, zero-extending `acc` if `add` is longer. This is
 /// the RAID-5 parity fold: XOR is associative/commutative and self-inverse,
 /// so folding the same chunk set in any order yields the same parity, and
 /// re-folding a survivor's chunk into its group parity recovers the missing
-/// member's chunk.
+/// member's chunk. The inner loop is the word-wise (auto-vectorizing)
+/// kernel; for pool-parallel folding of large images use
+/// xor_fold_chunked (kernels.h), which produces identical bytes.
 inline void xor_fold(std::vector<std::byte>& acc,
                      std::span<const std::byte> add) {
   if (add.size() > acc.size()) acc.resize(add.size(), std::byte{0});
-  for (std::size_t i = 0; i < add.size(); ++i) acc[i] ^= add[i];
+  kernels::xor_fold_words(acc.data(), add.data(), add.size());
 }
 
 }  // namespace acr::checksum

@@ -1,0 +1,116 @@
+// Hardware-dispatched, chunk-parallel data-plane kernels.
+//
+// Every hot byte loop of the checkpoint/message path funnels through here:
+// the CRC32C frame-integrity check, the Fletcher buddy digests, and the
+// RAID-5 xor parity fold. Three mechanisms, all preserving bit-identical
+// results:
+//
+//   1. Runtime CPU dispatch. CRC32C has an SSE4.2 instruction
+//      (_mm_crc32_u64, ~1 cycle per 8 bytes) and a portable slicing-by-8
+//      table fallback. The implementation is resolved once — cpuid, the
+//      ACR_KERNEL_IMPL environment variable, or an explicit
+//      set_kernel_impl() call (the driver's --kernel-impl flag) — and both
+//      produce the same polynomial, so the choice is invisible to the
+//      protocol.
+//
+//   2. Combine operators. crc32c_combine / fletcher64_combine /
+//      fletcher32_combine compute digest(A ++ B) from digest(A), digest(B)
+//      and |B|, so a large buffer can be digested as independent chunks and
+//      the partials merged left-to-right. CRC combine is the GF(2)
+//      shift-matrix trick (apply the "advance by |B| zero bytes" linear
+//      operator to digest(A), xor digest(B)); Fletcher combine is modular
+//      arithmetic on the two sums. Fletcher digests are word streams, so a
+//      NON-final chunk must be word-aligned (4 bytes for Fletcher-64, 2 for
+//      Fletcher-32); the chunked helpers below cut on fixed 256 KiB
+//      boundaries, which satisfies both.
+//
+//   3. Chunk-parallel drivers. crc32c_chunked / fletcher64_chunked /
+//      xor_fold_chunked fan fixed-size chunks across parallel::global()
+//      and merge in index order. Chunk geometry depends only on the input
+//      size — never on the worker count — so any thread count (including
+//      serial) produces the same digest bit for bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace acr::checksum {
+
+/// Which CRC32C inner loop to run. Auto resolves to Hw when the CPU has
+/// SSE4.2, else Portable; the ACR_KERNEL_IMPL environment variable
+/// ("portable" / "hw" / "auto") overrides Auto's default at startup, and
+/// set_kernel_impl() (the driver's --kernel-impl flag) overrides both.
+enum class KernelImpl { Auto, Portable, Hw };
+
+/// Re-resolve the active kernels. Requesting Hw on a machine without
+/// SSE4.2 is a fatal precondition error — callers (the driver) should
+/// check hw_kernels_available() first and fail with a proper message.
+void set_kernel_impl(KernelImpl impl);
+
+/// The last requested policy (Auto until someone calls set_kernel_impl).
+KernelImpl kernel_impl();
+
+/// True when this build and CPU can run the SSE4.2 CRC32C kernel.
+bool hw_kernels_available();
+
+/// Name of the CRC32C inner loop actually running: "hw" or "portable".
+const char* active_crc32c_kernel();
+
+namespace kernels {
+
+/// Raw CRC32C state update (reflected Castagnoli, no init/final xor)
+/// through the dispatched implementation.
+std::uint32_t crc32c_update(std::uint32_t state,
+                            std::span<const std::byte> data);
+
+/// Slicing-by-8 table kernel (always available).
+std::uint32_t crc32c_update_portable(std::uint32_t state,
+                                     std::span<const std::byte> data);
+
+/// SSE4.2 kernel. Precondition: hw_kernels_available().
+std::uint32_t crc32c_update_hw(std::uint32_t state,
+                               std::span<const std::byte> data);
+
+/// Word-wise xor accumulate: acc[i] ^= add[i] for i in [0, n). The inner
+/// loop runs on uint64 words (memcpy-load, so alignment-safe) and
+/// auto-vectorizes; the 1–7-byte tail is folded scalar.
+inline void xor_fold_words(std::byte* acc, const std::byte* add,
+                           std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a, b;
+    std::memcpy(&a, acc + i, 8);
+    std::memcpy(&b, add + i, 8);
+    a ^= b;
+    std::memcpy(acc + i, &a, 8);
+  }
+  for (; i < n; ++i) acc[i] ^= add[i];
+}
+
+}  // namespace kernels
+
+/// Chunk size of the chunk-parallel drivers. A multiple of 4 (Fletcher-64
+/// word) and 2 (Fletcher-32 word), so every non-final chunk is word-aligned
+/// for the combine operators. Exposed for the equivalence tests.
+inline constexpr std::size_t kDigestChunk = std::size_t{1} << 18;  // 256 KiB
+
+/// CRC32C of `data`, digested as kDigestChunk-sized chunks fanned across
+/// parallel::global() and merged with crc32c_combine. Bit-identical to the
+/// one-shot crc32c() at any thread count; falls back to one-shot when the
+/// pool is serial or the input is small.
+std::uint32_t crc32c_chunked(std::span<const std::byte> data);
+
+/// Fletcher-64 of `data`, chunked and merged with fletcher64_combine.
+/// Bit-identical to the one-shot fletcher64() at any thread count.
+std::uint64_t fletcher64_chunked(std::span<const std::byte> data);
+
+/// xor_fold with the byte range fanned across parallel::global(). XOR is
+/// positional, so the split needs no combine step; any thread count folds
+/// the same bytes into the same slots. Zero-extends acc like xor_fold.
+void xor_fold_chunked(std::vector<std::byte>& acc,
+                      std::span<const std::byte> add);
+
+}  // namespace acr::checksum

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "checksum/fold.h"
+#include "checksum/kernels.h"
 #include "common/logging.h"
 #include "common/require.h"
 
@@ -88,7 +89,10 @@ void XorScheme::on_chunk(int src_index, const XorChunkMsg& msg,
   PendingParity& b = building_[msg.epoch];
   if (b.sizes.empty()) b.sizes.assign(static_cast<std::size_t>(n_), 0);
   if (!b.contributed.insert(rank).second) return;  // duplicate chunk
-  checksum::xor_fold(b.parity, chunk.bytes());
+  // Building the group parity is the hottest xor in the tree (one fold per
+  // arriving chunk per epoch); fan it across the kernel pool. XOR is
+  // positional, so the parity bytes are identical at any thread count.
+  checksum::xor_fold_chunked(b.parity, chunk.bytes());
   b.sizes[static_cast<std::size_t>(rank)] = msg.image_size;
   b.iteration = msg.iteration;
   if (static_cast<int>(b.contributed.size()) < n_ - 1) return;
@@ -182,7 +186,8 @@ void XorScheme::try_reassemble(std::uint64_t barrier) {
       if (rank == holder) continue;
       int tc = (holder - rank - 1 + n_) % n_;
       auto [begin, end] = chunk_range(p.image_size, tc);
-      checksum::xor_fold(acc, p.image.bytes().subspan(begin, end - begin));
+      checksum::xor_fold_chunked(acc,
+                                 p.image.bytes().subspan(begin, end - begin));
     }
     auto [mb, me] = chunk_range(my_size, t);
     std::size_t want = me - mb;

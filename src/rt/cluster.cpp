@@ -365,19 +365,22 @@ void Cluster::frame_arrived(net::LinkKey link,
   // straggler nobody is waiting for.
   if (it == wire_store_.end()) return;
   const WireMsg& w = it->second;
-  // Integrity check against the send-time CRC32C. Corruption is applied to
-  // a detached copy (copy-on-write) so the sender's retransmit source — the
-  // same shared Buffer — keeps its original bytes.
+  // Integrity check against the send-time CRC32C. The conditioned CRC is
+  // affine in the message bits, so the damaged frame's CRC is the clean CRC
+  // xor the flipped bit's contribution — no payload copy, no rescan (the
+  // old path detached a full copy-on-write duplicate and re-digested it
+  // per corrupted frame). The delta of a single-bit flip is never zero
+  // (CRC32C detects all 1-bit errors), so this reaches the same verdict.
   if (corrupt) {
     if (w.m.payload.empty()) {
       // Nothing but header to corrupt: the frame fails framing outright.
       ++net_counters_.crc_drops;
       return;
     }
-    buf::Buffer damaged = w.m.payload;
-    damaged.mutable_bytes()[corrupt_byte] ^=
-        static_cast<std::byte>(1u << corrupt_bit);
-    if (checksum::buffer_crc32c(damaged) != w.crc) {
+    std::uint32_t damaged_crc =
+        w.crc ^ checksum::crc32c_flip_delta(w.m.payload.size(), corrupt_byte,
+                                            corrupt_bit);
+    if (damaged_crc != w.crc) {
       ++net_counters_.crc_drops;
       return;  // dropped at the NIC: no ack, retransmit covers it
     }
