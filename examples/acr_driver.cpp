@@ -41,6 +41,13 @@ int main(int argc, char** argv) {
   double fault_mtbf = 0.0;
   double sdc_fraction = 0.3;
   double weibull_shape = 0.0;
+  double burst_mtbf = 0.0;
+  double burst_shape = 0.0;
+  double burst_follow = 0.5;
+  double burst_window = 0.002;
+  int burst_domain = 4;
+  double spare_repair_time = 0.0;
+  std::string degrade = "abort";
   double predictor_recall = 0.0;
   double net_loss = 0.0;
   double net_dup = 0.0;
@@ -78,6 +85,26 @@ int main(int argc, char** argv) {
                  "fraction of injected faults that are bit flips");
   cli.add_double("weibull-shape", &weibull_shape,
                  "use a Weibull failure process with this shape (0 = Poisson)");
+  cli.add_double("burst-mtbf", &burst_mtbf,
+                 "mean time between correlated burst seed failures; seeds "
+                 "strike any alive hardware node, spares included (0 = off)");
+  cli.add_double("burst-shape", &burst_shape,
+                 "Weibull shape of the burst seed process (0 = Poisson)");
+  cli.add_double("burst-follow", &burst_follow,
+                 "probability each live failure-domain peer of a burst seed "
+                 "also fails");
+  cli.add_double("burst-window", &burst_window,
+                 "follower deaths land within this many seconds of the seed");
+  cli.add_int("burst-domain", &burst_domain,
+              "hardware nodes per failure domain (one blade/X-line of the "
+              "derived torus)");
+  cli.add_double("spare-repair-time", &spare_repair_time,
+                 "mean node repair time; repaired hardware re-enters the "
+                 "spare pool (0 = dead stays dead)");
+  cli.add_choice("degrade", &degrade, {"abort", "shrink"},
+                 "on spare-pool exhaustion: abort the job, or shrink — "
+                 "double the dead role up onto a surviving node and "
+                 "un-double when a repair refills the pool");
   cli.add_double("predictor-recall", &predictor_recall,
                  "enable the failure predictor with this recall (0 = off)");
   cli.add_double("net-loss", &net_loss,
@@ -116,6 +143,26 @@ int main(int argc, char** argv) {
   if (net_retry_budget < 1) {
     std::fprintf(stderr, "error: --net-retry-budget=%d must be >= 1\n",
                  net_retry_budget);
+    return 2;
+  }
+  if (burst_follow < 0.0 || burst_follow > 1.0) {
+    std::fprintf(stderr, "error: --burst-follow=%g outside [0, 1]\n",
+                 burst_follow);
+    return 2;
+  }
+  if (burst_window < 0.0) {
+    std::fprintf(stderr, "error: --burst-window=%g must be >= 0\n",
+                 burst_window);
+    return 2;
+  }
+  if (burst_domain < 1) {
+    std::fprintf(stderr, "error: --burst-domain=%d must be >= 1\n",
+                 burst_domain);
+    return 2;
+  }
+  if (spare_repair_time < 0.0) {
+    std::fprintf(stderr, "error: --spare-repair-time=%g must be >= 0\n",
+                 spare_repair_time);
     return 2;
   }
   if (kernel_impl == "hw" && !checksum::hw_kernels_available()) {
@@ -177,6 +224,7 @@ int main(int argc, char** argv) {
   ac.redundancy = ckpt_scheme == "local"   ? ckpt::Scheme::Local
                   : ckpt_scheme == "xor"   ? ckpt::Scheme::Xor
                                            : ckpt::Scheme::Partner;
+  ac.degrade = degrade == "shrink" ? DegradeMode::Shrink : DegradeMode::Abort;
   if (xor_group_size > 0) ac.xor_group_size = xor_group_size;
   // Scheme/flag combinations the manager would reject (e.g. xor under a
   // non-strong resilience scheme) become CLI errors instead of aborts.
@@ -259,6 +307,16 @@ int main(int argc, char** argv) {
     plan.sdc_fraction = sdc_fraction;
     runtime.set_fault_plan(plan);
   }
+  if (burst_mtbf > 0.0) {
+    failure::BurstConfig bc;
+    bc.seed_mtbf = burst_mtbf;
+    bc.weibull_shape = burst_shape;
+    bc.follow_prob = burst_follow;
+    bc.window = burst_window;
+    bc.domain_size = burst_domain;
+    bc.repair_mean = spare_repair_time;
+    runtime.set_burst_plan(bc);
+  }
 
   RunSummary s = runtime.run(/*max_virtual_time=*/600.0);
 
@@ -292,6 +350,19 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.net_crc_drops),
         static_cast<unsigned long long>(s.net_stale_epoch_drops),
         static_cast<unsigned long long>(s.net_link_failures));
+  // Only printed when the burst/spare lifecycle is exercised: keeps output
+  // from runs without it byte-identical to builds that predate the feature.
+  if (burst_mtbf > 0.0 || ac.degrade == DegradeMode::Shrink)
+    std::printf(
+        "spare pool: bursts=%llu killed=%llu  promotions=%llu failures=%llu "
+        "repairs=%llu low-water=%d  doubled=%llu undoubled=%llu\n",
+        static_cast<unsigned long long>(s.burst_seeds),
+        static_cast<unsigned long long>(s.burst_node_kills),
+        static_cast<unsigned long long>(s.spare_promotions),
+        static_cast<unsigned long long>(s.spare_failures),
+        static_cast<unsigned long long>(s.spare_repairs), s.spare_low_water,
+        static_cast<unsigned long long>(s.roles_doubled),
+        static_cast<unsigned long long>(s.roles_undoubled));
   // Only printed for non-default redundancy: keeps partner output
   // byte-identical to builds that predate the pluggable ckpt layer.
   if (ac.redundancy != ckpt::Scheme::Partner) {

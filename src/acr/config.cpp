@@ -20,6 +20,14 @@ const char* sdc_detection_name(SdcDetection d) {
   return "?";
 }
 
+const char* degrade_mode_name(DegradeMode m) {
+  switch (m) {
+    case DegradeMode::Abort: return "abort";
+    case DegradeMode::Shrink: return "shrink";
+  }
+  return "?";
+}
+
 const char* validate_redundancy_config(const AcrConfig& config,
                                        int nodes_per_replica) {
   switch (config.redundancy) {

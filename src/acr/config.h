@@ -22,6 +22,14 @@ enum class SdcDetection {
 
 const char* sdc_detection_name(SdcDetection d);
 
+/// What to do when a hard failure finds the spare pool empty.
+enum class DegradeMode {
+  Abort,   ///< historical behavior: the job fails on pool exhaustion
+  Shrink,  ///< shrink-to-survive: double the dead role up onto a survivor
+};
+
+const char* degrade_mode_name(DegradeMode m);
+
 struct AcrConfig {
   ResilienceScheme scheme = ResilienceScheme::Strong;
   SdcDetection detection = SdcDetection::FullCompare;
@@ -68,6 +76,14 @@ struct AcrConfig {
   /// striking in the tail (after the last periodic checkpoint) would go
   /// out the door unverified. Ignored in HardOnly mode.
   bool verify_at_completion = true;
+
+  /// Spare-pool exhaustion policy. Abort preserves the pre-burst behavior
+  /// bit-for-bit; Shrink doubles the dead role up onto a surviving node of
+  /// the same replica (degraded redundancy) and un-doubles when a repaired
+  /// spare returns. Un-doubling is automatic only under the Strong scheme,
+  /// whose buddy/xor recovery restores the relieved role without a
+  /// single-replica recovery checkpoint.
+  DegradeMode degrade = DegradeMode::Abort;
 
   /// Stream comparison tolerances (FullCompare mode).
   pup::CheckerConfig checker;

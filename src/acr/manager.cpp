@@ -101,6 +101,18 @@ void Manager::request_immediate_checkpoint() {
   request_checkpoint(3, CkptPurpose::Periodic);
 }
 
+void Manager::note_out_of_band_failure() {
+  if (complete_ || failed_) return;
+  if (env_.config->adaptive) adaptive_.on_failure(now());
+}
+
+void Manager::note_spare_available() {
+  if (env_.config->periodic_checkpoints &&
+      env_.config->scheme != ResilienceScheme::HardOnly)
+    return;  // the next commit relieves doubled roles at minimal cost
+  maybe_undouble();
+}
+
 void Manager::broadcast(int replica, int tag, buf::Buffer payload,
                         double bytes_on_wire) {
   for (int i = 0; i < env_.cluster->nodes_per_replica(); ++i)
@@ -211,6 +223,9 @@ void Manager::commit_checkpoint() {
   }
   schedule_tick();
   maybe_finalize();
+  // Right after a commit is the cheapest moment to relieve a doubled role:
+  // the rollback in its recovery wave loses almost nothing.
+  maybe_undouble();
 }
 
 void Manager::rollback_sdc() {
@@ -318,15 +333,27 @@ void Manager::handle_suspect_role(int replica, int node_index) {
     escalate_rollback_all();
     return;
   }
+  trace().record(now(), rt::TraceKind::RecoveryStarted, role.first,
+                 role.second, resilience_scheme_name(env_.config->scheme));
   start_recovery(role.first, role.second);
 }
 
 bool Manager::promote_and_install(int replica, int node_index) {
   rt::Node* fresh = env_.cluster->promote_spare(replica, node_index);
+  if (fresh == nullptr && env_.config->degrade == DegradeMode::Shrink) {
+    // Shrink-to-survive: the pool is empty, but the job need not die —
+    // remap the role onto a surviving node of the same replica (doubling
+    // up) and continue with degraded redundancy until a repair refills the
+    // pool. Logical indices are preserved, so buddy/group/tree routing is
+    // untouched; the role-table repoint IS the routing rewrite.
+    fresh = env_.cluster->double_up(replica, node_index);
+  }
   if (fresh == nullptr) {
     failed_ = true;
     trace().record(now(), rt::TraceKind::JobComplete, -1, -1,
-                   "FAILED: spare pool exhausted");
+                   env_.config->degrade == DegradeMode::Shrink
+                       ? "FAILED: spare pool exhausted and no surviving host"
+                       : "FAILED: spare pool exhausted");
     return false;
   }
   // Gate until the restore lands: traffic addressed to the role belongs to
@@ -336,9 +363,29 @@ bool Manager::promote_and_install(int replica, int node_index) {
   return true;
 }
 
+void Manager::maybe_undouble() {
+  if (complete_ || failed_ || ckpt_ || recovery_ || weak_recovery_pending_)
+    return;
+  // Un-doubling rides the standard recovery machinery; only the Strong
+  // scheme's buddy/xor restore re-mans a role without a single-replica
+  // recovery checkpoint, so other schemes keep their doubled roles.
+  if (env_.config->scheme != ResilienceScheme::Strong) return;
+  if (redundancy() == ckpt::Scheme::Local) return;  // would cost a scratch
+  if (verified_epoch_ == 0) return;
+  if (env_.cluster->spares_remaining() == 0) return;
+  auto doubled = env_.cluster->doubled_roles();
+  if (doubled.empty()) return;
+  auto [r, i] = doubled.front();
+  // Retire the lodger (the role goes unmanned; the cluster traces
+  // RoleUndoubled) and promote a real spare through the usual wave. Not a
+  // failure: the wave neither traces RecoveryStarted nor bumps counters.
+  env_.cluster->retire_lodger(r, i);
+  dead_roles_.insert({r, i});
+  start_recovery(r, i);
+  if (recovery_) recovery_->counts_as_recovery = false;
+}
+
 void Manager::start_recovery(int replica, int node_index) {
-  trace().record(now(), rt::TraceKind::RecoveryStarted, replica, node_index,
-                 resilience_scheme_name(env_.config->scheme));
   if (!promote_and_install(replica, node_index)) return;
 
   if (redundancy() == ckpt::Scheme::Local) {
@@ -556,6 +603,19 @@ void Manager::escalate_rollback_all() {
   escalated_ = true;
   weak_recovery_pending_ = false;
   std::uint64_t barrier_id = next_barrier_++;
+  // A second failure mid-recovery lands here with the abandoned wave's
+  // rollback/rebuild commands possibly still in flight. Raise every live
+  // agent's restore floor past those waves so a stale command cannot
+  // re-apply old state after this wave's restores land — waves are
+  // serialized, never interleaved.
+  for (int r = 0; r < 2; ++r) {
+    for (int i = 0; i < env_.cluster->nodes_per_replica(); ++i) {
+      rt::Node* n = env_.cluster->role_node(r, i);
+      if (n == nullptr || n->service() == nullptr) continue;
+      static_cast<NodeAgent*>(n->service())->quash_restores_through(
+          barrier_id - 1);
+    }
+  }
   trace().record(now(), rt::TraceKind::Rollback, -1, -1,
                  "escalated rollback to epoch=" +
                      std::to_string(verified_epoch_) + " barrier=" +

@@ -39,6 +39,18 @@ class Manager {
   /// §2.2: "checkpointing right before a potential failure occurs").
   void request_immediate_checkpoint();
 
+  /// An out-of-band failure observation (an idle spare died in a burst —
+  /// nothing heartbeats a pooled spare, so the RAS injector reports it
+  /// directly). Feeds the adaptive-interval estimator: correlated arrivals
+  /// tighten the checkpoint period just like detected role failures.
+  void note_out_of_band_failure();
+
+  /// A repaired node re-entered the spare pool. If periodic checkpointing
+  /// is off, doubled roles are relieved here; otherwise the next commit
+  /// picks them up (un-doubling right after a commit loses the least
+  /// progress to its rollback).
+  void note_spare_available();
+
   bool job_complete() const { return complete_; }
   bool job_failed() const { return failed_; }
 
@@ -124,6 +136,10 @@ class Manager {
   void escalate_rollback_all();
   void restart_from_scratch();
   bool promote_and_install(int replica, int node_index);
+  /// Shrink-to-survive epilogue: when idle with a spare in the pool and a
+  /// doubled role outstanding, retire the lodger and run a (non-counting)
+  /// recovery to move the role onto real hardware. One role per call.
+  void maybe_undouble();
 
   // Completion.
   void handle_node_done(const rt::Message& m);

@@ -111,6 +111,14 @@ void NodeAgent::start() {
   });
 }
 
+void NodeAgent::rebind_role() {
+  if (replica_ == node_.replica() && index_ == node_.node_index()) return;
+  replica_ = node_.replica();
+  index_ = node_.node_index();
+  num_children_ = static_cast<int>(child_indices().size());
+  make_scheme();  // the xor layout keys chunk routing off the node index
+}
+
 void NodeAgent::reset_for_restart() {
   phase_ = Phase::Idle;
   epoch_ = 0;

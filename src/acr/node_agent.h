@@ -53,6 +53,13 @@ class NodeAgent final : public rt::NodeService {
   /// so relaunches reuse them.
   void reset_for_restart();
 
+  /// Adopt the node's current (replica, index) role. A repaired node
+  /// re-enters the spare pool and may be promoted into a *different* role
+  /// than the one it died in; the reused agent must re-derive its tree
+  /// position and redundancy-scheme layout before reset_for_restart().
+  /// No-op when the role is unchanged.
+  void rebind_role();
+
   /// Raise the restore-wave floor: restore commands and in-flight restore
   /// applications whose barrier id is at or below `barrier` are ignored
   /// from now on. The manager calls this when a scratch restart abandons a

@@ -45,11 +45,32 @@ void AcrRuntime::set_fault_plan(FaultPlan plan) {
     schedule_next_fault(engine_.now());
 }
 
+void AcrRuntime::set_burst_plan(const failure::BurstConfig& config) {
+  burst_config_ = config;
+  if (setup_done_ && burst_config_.enabled()) arm_burst_injection();
+}
+
+void AcrRuntime::arm_burst_injection() {
+  if (burst_ != nullptr || !burst_config_.enabled()) return;
+  burst_ = std::make_unique<failure::CorrelatedInjector>(
+      burst_config_, cluster_->num_hardware_nodes(),
+      cluster_->config().seed ^ 0xB0057ULL);
+  // Lifecycle events (spare deaths, repairs, pool minima) only exist under
+  // burst injection; enabling their trace here keeps burst-free runs
+  // byte-identical to the pre-lifecycle framework.
+  cluster_->enable_spare_lifecycle_trace();
+  schedule_next_burst(engine_.now());
+}
+
 NodeAgent* AcrRuntime::install_agent(rt::Node& node) {
   // Agents are never replaced while their node lives — scheduled events
   // capture the agent pointer. Relaunches reset the existing agent.
   if (node.service() != nullptr) {
     auto* agent = static_cast<NodeAgent*>(node.service());
+    // A repaired node may be promoted into a different role than the one
+    // it died holding; the reused agent re-derives its tree position and
+    // redundancy layout before the state reset.
+    agent->rebind_role();
     agent->reset_for_restart();
     return agent;
   }
@@ -73,6 +94,7 @@ void AcrRuntime::setup() {
   manager_->start();
   cluster_->start_application();
   if (fault_plan_.arrivals) schedule_next_fault(0.0);
+  if (burst_config_.enabled()) arm_burst_injection();
   setup_done_ = true;
 }
 
@@ -142,6 +164,52 @@ void AcrRuntime::inject_fault() {
   }
 }
 
+void AcrRuntime::schedule_next_burst(double from_time) {
+  double t = burst_->next_seed_after(from_time);
+  engine_.schedule_at(t, [this]() { fire_burst(); });
+}
+
+void AcrRuntime::fire_burst() {
+  if (manager_->job_complete() || manager_->job_failed()) return;
+  schedule_next_burst(engine_.now());
+  std::vector<int> alive = cluster_->alive_hardware();
+  if (alive.empty()) return;
+  ++burst_seeds_;
+  int victim = burst_->pick_victim(alive);
+  // Plan followers against the pre-seed membership: the seed's own death
+  // must not affect who its domain peers are.
+  std::vector<failure::FollowerEvent> followers =
+      burst_->plan_followers(victim, alive);
+  burst_kill(victim, "burst-seed");
+  for (const failure::FollowerEvent& f : followers) {
+    engine_.schedule_after(f.delay, [this, node = f.node]() {
+      if (manager_->job_complete() || manager_->job_failed()) return;
+      burst_kill(node, "burst-follower");
+    });
+  }
+}
+
+void AcrRuntime::burst_kill(int pid, const char* why) {
+  if (!cluster_->physical_node(pid).alive()) return;  // already down
+  bool was_spare = cluster_->is_pooled_spare(pid);
+  ++burst_kills_;
+  cluster_->kill_physical(pid, why);
+  // Nothing heartbeats a pooled spare, so its death is reported to the
+  // manager out of band (the RAS log) — the adaptive interval must see
+  // correlated arrivals whether or not the victim held a role.
+  if (was_spare) manager_->note_out_of_band_failure();
+  schedule_repair(pid);
+}
+
+void AcrRuntime::schedule_repair(int pid) {
+  if (burst_config_.repair_mean <= 0.0) return;
+  double dt = burst_->sample_repair_time();
+  engine_.schedule_after(dt, [this, pid]() {
+    if (manager_->job_complete() || manager_->job_failed()) return;
+    if (cluster_->repair_node(pid)) manager_->note_spare_available();
+  });
+}
+
 RunSummary AcrRuntime::run(double max_virtual_time) {
   ACR_REQUIRE(setup_done_, "call setup() before run()");
   while (engine_.now() < max_virtual_time && !manager_->job_complete() &&
@@ -170,9 +238,22 @@ RunSummary AcrRuntime::run(double max_virtual_time) {
   s.net_stale_epoch_drops = nc.stale_epoch_drops;
   s.net_link_failures = nc.link_failures;
   s.ckpt_scheme = ckpt::scheme_name(acr_config_.redundancy);
+  const rt::Cluster::SpareCounters& sc = cluster_->spare_counters();
+  s.burst_seeds = burst_seeds_;
+  s.burst_node_kills = burst_kills_;
+  s.spare_promotions = sc.promotions;
+  s.spare_failures = sc.spare_failures;
+  s.spare_repairs = sc.repairs;
+  s.spare_low_water = sc.low_water;
+  s.roles_doubled = sc.roles_doubled;
+  s.roles_undoubled = sc.roles_undoubled;
   for (int r = 0; r < 2; ++r) {
     for (int i = 0; i < cluster_->nodes_per_replica(); ++i) {
-      auto* svc = cluster_->node_at(r, i).service();
+      // role_node, not node_at: on a failed run the repair path may have
+      // left a role unmanned (its dead player was pooled again).
+      rt::Node* n = cluster_->role_node(r, i);
+      if (n == nullptr) continue;
+      auto* svc = n->service();
       if (svc == nullptr) continue;
       const ckpt::RedundancyStats& rs =
           static_cast<NodeAgent*>(svc)->redundancy().stats();

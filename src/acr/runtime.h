@@ -20,6 +20,7 @@
 #include "acr/manager.h"
 #include "acr/node_agent.h"
 #include "acr/predictor.h"
+#include "failure/correlated.h"
 #include "failure/distributions.h"
 #include "failure/injector.h"
 #include "rt/cluster.h"
@@ -69,6 +70,16 @@ struct RunSummary {
   std::uint64_t parity_chunks_sent = 0;  ///< group parity chunks shipped
   std::uint64_t parity_bytes_sent = 0;   ///< bytes of those chunks
   std::uint64_t xor_rebuilds = 0;        ///< images rebuilt from parity
+  // Correlated-burst injection and the spare-pool lifecycle (all zero, and
+  // spare_low_water = configured spares, unless a burst plan is set).
+  std::uint64_t burst_seeds = 0;       ///< burst seed failures fired
+  std::uint64_t burst_node_kills = 0;  ///< nodes killed (seeds + followers)
+  std::uint64_t spare_promotions = 0;  ///< spares promoted into roles
+  std::uint64_t spare_failures = 0;    ///< pooled spares that died idle
+  std::uint64_t spare_repairs = 0;     ///< dead hardware repaired into pool
+  int spare_low_water = 0;             ///< minimum pool size observed
+  std::uint64_t roles_doubled = 0;     ///< shrink-to-survive doublings
+  std::uint64_t roles_undoubled = 0;   ///< doubled roles later relieved
 };
 
 class AcrRuntime {
@@ -89,6 +100,13 @@ class AcrRuntime {
 
   /// Optional fault injection; call any time before run().
   void set_fault_plan(FaultPlan plan);
+
+  /// Optional correlated-burst injection (failure/correlated.h): seed
+  /// failures strike any alive hardware node — pooled spares included —
+  /// and recruit followers from the victim's failure domain; dead hardware
+  /// re-enters the spare pool after a sampled repair time. Independent of
+  /// (and composable with) set_fault_plan. Call any time before run().
+  void set_burst_plan(const failure::BurstConfig& config);
 
   /// Enable the online failure predictor (§2.2): hard failures are
   /// announced `lead_time` in advance with the configured recall, and the
@@ -113,6 +131,11 @@ class AcrRuntime {
  private:
   void schedule_next_fault(double from_time);
   void inject_fault();
+  void arm_burst_injection();
+  void schedule_next_burst(double from_time);
+  void fire_burst();
+  void burst_kill(int pid, const char* why);
+  void schedule_repair(int pid);
   NodeAgent* install_agent(rt::Node& node);
 
   AcrConfig acr_config_;
@@ -127,6 +150,10 @@ class AcrRuntime {
   Pcg32 fault_rng_;
   std::uint64_t sdc_injected_ = 0;
   std::uint64_t warnings_issued_ = 0;
+  failure::BurstConfig burst_config_;
+  std::unique_ptr<failure::CorrelatedInjector> burst_;
+  std::uint64_t burst_seeds_ = 0;
+  std::uint64_t burst_kills_ = 0;
   bool setup_done_ = false;
 };
 

@@ -24,6 +24,11 @@ const char* trace_kind_name(TraceKind k) {
     case TraceKind::JobComplete: return "job-complete";
     case TraceKind::StaleMessageDropped: return "stale-message-dropped";
     case TraceKind::LinkFailure: return "link-failure";
+    case TraceKind::SpareFailed: return "spare-failed";
+    case TraceKind::NodeRepaired: return "node-repaired";
+    case TraceKind::SparePoolLow: return "spare-pool-low";
+    case TraceKind::RoleDoubled: return "role-doubled";
+    case TraceKind::RoleUndoubled: return "role-undoubled";
   }
   return "?";
 }
@@ -99,6 +104,8 @@ void Cluster::populate() {
     }
   }
   for (int s = 0; s < config_.spare_nodes; ++s) spare_pool_.push_back(next++);
+  num_hardware_ = total;
+  spare_counters_.low_water = config_.spare_nodes;
 }
 
 void Cluster::start_application() {
@@ -123,6 +130,47 @@ bool Cluster::role_alive(int replica, int node_index) {
 
 int Cluster::spares_remaining() const {
   return static_cast<int>(spare_pool_.size());
+}
+
+std::vector<int> Cluster::alive_hardware() const {
+  std::vector<int> out;
+  for (int pid = 0; pid < num_hardware_; ++pid)
+    if (nodes_[static_cast<std::size_t>(pid)]->alive()) out.push_back(pid);
+  return out;
+}
+
+Node* Cluster::role_node(int replica, int node_index) {
+  int pid = role_table_.at(static_cast<std::size_t>(replica))
+                .at(static_cast<std::size_t>(node_index));
+  return pid >= 0 ? nodes_[static_cast<std::size_t>(pid)].get() : nullptr;
+}
+
+bool Cluster::is_pooled_spare(int pid) const {
+  return std::find(spare_pool_.begin(), spare_pool_.end(), pid) !=
+         spare_pool_.end();
+}
+
+std::vector<std::pair<int, int>> Cluster::doubled_roles() {
+  std::vector<std::pair<int, int>> out;
+  for (int r = 0; r < 2; ++r) {
+    for (int i = 0; i < config_.nodes_per_replica; ++i) {
+      int pid = role_table_[static_cast<std::size_t>(r)]
+                           [static_cast<std::size_t>(i)];
+      if (pid >= 0 && is_lodger(pid) &&
+          nodes_[static_cast<std::size_t>(pid)]->alive())
+        out.emplace_back(r, i);
+    }
+  }
+  return out;
+}
+
+void Cluster::note_pool_level() {
+  int level = static_cast<int>(spare_pool_.size());
+  if (level >= spare_counters_.low_water) return;
+  spare_counters_.low_water = level;
+  if (spare_trace_)
+    trace_.record(engine_.now(), TraceKind::SparePoolLow, -1, -1,
+                  "remaining=" + std::to_string(level));
 }
 
 double Cluster::app_latency(std::size_t bytes, Pcg32& jitter_rng) {
@@ -226,17 +274,85 @@ void Cluster::send_from_manager(int dst_replica, int dst_node, int tag,
                bytes_on_wire);
 }
 
-void Cluster::kill_role(int replica, int node_index) {
-  int pid = role_table_.at(static_cast<std::size_t>(replica))
-                .at(static_cast<std::size_t>(node_index));
-  if (pid < 0) return;
-  nodes_[static_cast<std::size_t>(pid)]->kill();
+void Cluster::kill_pid(int pid) {
+  Node& n = *nodes_.at(static_cast<std::size_t>(pid));
+  if (!n.alive()) return;
+  n.kill();
   // The NIC dies with the node: abandon its reliable conversations (their
   // payloads are released without give-up escalation — the death itself is
   // detected by heartbeats/RAS, not by retry exhaustion) and bump link
   // generations so in-flight frames from the dead incarnation are inert.
-  transport_.reset_endpoint(role_endpoint(replica, node_index));
-  purge_rx(role_endpoint(replica, node_index));
+  if (n.assigned() &&
+      role_table_[static_cast<std::size_t>(n.replica())]
+                 [static_cast<std::size_t>(n.node_index())] == pid) {
+    transport_.reset_endpoint(role_endpoint(n.replica(), n.node_index()));
+    purge_rx(role_endpoint(n.replica(), n.node_index()));
+  }
+  // Lodgers share their host's hardware: its death is theirs too.
+  for (const auto& [lodger, host] : lodger_host_)
+    if (host == pid) kill_pid(lodger);
+}
+
+void Cluster::kill_role(int replica, int node_index) {
+  int pid = role_table_.at(static_cast<std::size_t>(replica))
+                .at(static_cast<std::size_t>(node_index));
+  if (pid < 0) return;
+  kill_pid(pid);
+}
+
+void Cluster::kill_physical(int pid, const std::string& why) {
+  ACR_REQUIRE(pid >= 0 && pid < num_hardware_,
+              "kill_physical targets hardware nodes only");
+  Node& n = *nodes_[static_cast<std::size_t>(pid)];
+  if (!n.alive()) return;
+  auto pooled = std::find(spare_pool_.begin(), spare_pool_.end(), pid);
+  if (pooled != spare_pool_.end()) {
+    // An idle spare died in the burst: it silently leaves the pool (no
+    // heartbeat observers watch a bare spare; the RAS-level injector is the
+    // source of truth here).
+    spare_pool_.erase(pooled);
+    n.kill();
+    ++spare_counters_.spare_failures;
+    trace_.record(engine_.now(), TraceKind::SpareFailed, -1, -1,
+                  why + " pid=" + std::to_string(pid));
+    note_pool_level();
+    return;
+  }
+  if (n.assigned() &&
+      role_table_[static_cast<std::size_t>(n.replica())]
+                 [static_cast<std::size_t>(n.node_index())] == pid) {
+    trace_.record(engine_.now(), TraceKind::HardFailureInjected, n.replica(),
+                  n.node_index(), why);
+    kill_pid(pid);
+    return;
+  }
+  // Unassigned, unpooled hardware (a vacated corpse already revived and
+  // re-killed before repair): just mark it dead.
+  n.kill();
+}
+
+bool Cluster::repair_node(int pid) {
+  if (pid < 0 || pid >= num_hardware_) return false;  // lodgers: no hardware
+  Node& n = *nodes_[static_cast<std::size_t>(pid)];
+  if (n.alive()) return false;
+  // If the role table still names this corpse, vacate the slot: the role
+  // stays unmanned (a revived node must not silently resurrect a role the
+  // manager believes dead — recovery re-mans it via promotion).
+  if (n.assigned()) {
+    auto& slot = role_table_.at(static_cast<std::size_t>(n.replica()))
+                     .at(static_cast<std::size_t>(n.node_index()));
+    if (slot == pid) slot = -1;
+    n.assign(-1, -1);
+  }
+  ACR_REQUIRE(!is_pooled_spare(pid),
+              "repair of a node already pooled (double-count)");
+  n.revive();
+  spare_pool_.push_back(pid);
+  ++spare_counters_.repairs;
+  trace_.record(engine_.now(), TraceKind::NodeRepaired, -1, -1,
+                "pid=" + std::to_string(pid) + " pool=" +
+                    std::to_string(spare_pool_.size()));
+  return true;
 }
 
 Node* Cluster::promote_spare(int replica, int node_index) {
@@ -255,7 +371,81 @@ Node* Cluster::promote_spare(int replica, int node_index) {
   role_table_[static_cast<std::size_t>(replica)]
              [static_cast<std::size_t>(node_index)] = pid;
   n.create_tasks();  // fresh tasks; state arrives from the buddy checkpoint
+  ++spare_counters_.promotions;
+  note_pool_level();
   return &n;
+}
+
+int Cluster::resolve_host(int pid) const {
+  auto it = lodger_host_.find(pid);
+  while (it != lodger_host_.end()) {
+    pid = it->second;
+    it = lodger_host_.find(pid);
+  }
+  return pid;
+}
+
+int Cluster::lodger_load(int pid) const {
+  int load = 0;
+  for (const auto& [lodger, host] : lodger_host_)
+    if (host == pid && nodes_[static_cast<std::size_t>(lodger)]->alive())
+      ++load;
+  return load;
+}
+
+Node* Cluster::double_up(int replica, int node_index) {
+  // Host choice is deterministic: the live same-replica role whose hardware
+  // carries the fewest lodgers, lowest node index breaking ties — doubled
+  // roles spread evenly instead of piling onto one survivor.
+  int host = -1;
+  int best_load = 0;
+  for (int i = 0; i < config_.nodes_per_replica; ++i) {
+    if (i == node_index || !role_alive(replica, i)) continue;
+    int hw = resolve_host(role_table_[static_cast<std::size_t>(replica)]
+                                     [static_cast<std::size_t>(i)]);
+    int load = lodger_load(hw);
+    if (host < 0 || load < best_load) {
+      host = hw;
+      best_load = load;
+    }
+  }
+  if (host < 0) return nullptr;  // the whole replica is gone
+  // Fresh incarnation of the role, same link hygiene as a spare promotion.
+  transport_.reset_endpoint(role_endpoint(replica, node_index));
+  purge_rx(role_endpoint(replica, node_index));
+  int pid = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(*this, pid));
+  lodger_host_[pid] = host;
+  int old = role_table_.at(static_cast<std::size_t>(replica))
+                .at(static_cast<std::size_t>(node_index));
+  if (old >= 0) nodes_[static_cast<std::size_t>(old)]->assign(-1, -1);
+  Node& n = *nodes_[static_cast<std::size_t>(pid)];
+  n.assign(replica, node_index);
+  role_table_[static_cast<std::size_t>(replica)]
+             [static_cast<std::size_t>(node_index)] = pid;
+  n.create_tasks();
+  ++spare_counters_.roles_doubled;
+  trace_.record(engine_.now(), TraceKind::RoleDoubled, replica, node_index,
+                "host-pid=" + std::to_string(host));
+  return &n;
+}
+
+bool Cluster::retire_lodger(int replica, int node_index) {
+  int pid = role_table_.at(static_cast<std::size_t>(replica))
+                .at(static_cast<std::size_t>(node_index));
+  if (pid < 0 || !is_lodger(pid)) return false;
+  Node& n = *nodes_[static_cast<std::size_t>(pid)];
+  if (n.alive()) n.kill();
+  n.assign(-1, -1);
+  role_table_[static_cast<std::size_t>(replica)]
+             [static_cast<std::size_t>(node_index)] = -1;
+  transport_.reset_endpoint(role_endpoint(replica, node_index));
+  purge_rx(role_endpoint(replica, node_index));
+  ++spare_counters_.roles_undoubled;
+  trace_.record(engine_.now(), TraceKind::RoleUndoubled, replica, node_index,
+                "host-pid=" +
+                    std::to_string(lodger_host_.at(pid)));
+  return true;
 }
 
 // ---------------------------------------------------------------------------

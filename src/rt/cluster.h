@@ -45,6 +45,11 @@ enum class TraceKind {
   JobComplete,
   StaleMessageDropped,  ///< app message from an abandoned epoch discarded
   LinkFailure,          ///< reliable link exhausted its retry budget
+  SpareFailed,          ///< a pooled (idle) spare died
+  NodeRepaired,         ///< dead hardware returned to the spare pool
+  SparePoolLow,         ///< pool reached a new minimum (lifecycle tracing)
+  RoleDoubled,          ///< shrink-to-survive: role remapped onto a survivor
+  RoleUndoubled,        ///< a repaired spare relieved a doubled role
 };
 
 const char* trace_kind_name(TraceKind k);
@@ -142,7 +147,18 @@ class Cluster {
     return *nodes_.at(static_cast<std::size_t>(physical_id));
   }
   int num_physical_nodes() const { return static_cast<int>(nodes_.size()); }
+  /// Hardware nodes only: the 2n + spares machines populate() racked.
+  /// Lodger nodes created by double_up() are virtual hosts beyond this
+  /// range — they share a survivor's hardware and cannot fail or be
+  /// repaired independently of it.
+  int num_hardware_nodes() const { return num_hardware_; }
   int spares_remaining() const;
+  /// Physical ids of currently-alive hardware, ascending (burst victim
+  /// selection).
+  std::vector<int> alive_hardware() const;
+  /// Node playing (replica, node_index), or nullptr when the role is
+  /// unmanned (node_at REQUIREs instead — use this where vacancy is legal).
+  Node* role_node(int replica, int node_index);
 
   /// Checkpoint parity-group membership (per replica; groups never span
   /// replicas). Empty/disabled unless ckpt_group_size was configured.
@@ -186,11 +202,53 @@ class Cluster {
   }
 
   // --- failure / recovery ------------------------------------------------------
-  /// Fail-stop the node currently playing (replica, node_index).
+  /// Fail-stop the node currently playing (replica, node_index). Lodgers
+  /// hosted on the dead hardware die with it.
   void kill_role(int replica, int node_index);
+  /// Fail-stop a hardware node by physical id, whatever it is doing: a
+  /// pooled spare dies idle (SpareFailed), a role-player takes its role
+  /// down (HardFailureInjected, plus any lodgers it hosts). `why` lands in
+  /// the trace detail. No-op on already-dead hardware.
+  void kill_physical(int pid, const std::string& why);
+  /// Return dead hardware to service as a pooled spare. Vacates its old
+  /// role-table slot if still pointing at it (the role stays unmanned until
+  /// the manager recovers it) and guards against double-pooling, so a
+  /// promoted-then-repaired node is never counted twice. False if the node
+  /// is alive or not repairable hardware.
+  bool repair_node(int pid);
   /// Promote a spare to (replica, node_index). Creates fresh (empty) tasks.
   /// Returns the new physical node, or nullptr if the pool is exhausted.
   Node* promote_spare(int replica, int node_index);
+
+  // --- shrink-to-survive (degraded mode) --------------------------------------
+  /// Remap (replica, node_index) onto a surviving node of the same replica:
+  /// a fresh *lodger* node is created for the role (preserving its logical
+  /// index, so buddy/group/tree routing is untouched) and pinned to the
+  /// least-loaded live host. Returns the lodger, or nullptr when no host
+  /// survives in the replica. The lodger dies if its host dies.
+  Node* double_up(int replica, int node_index);
+  /// Undo a double_up: retire the lodger playing (replica, node_index),
+  /// leaving the role unmanned for a standard spare recovery. False if the
+  /// role is not currently played by a lodger.
+  bool retire_lodger(int replica, int node_index);
+  bool is_lodger(int pid) const { return lodger_host_.count(pid) != 0; }
+  bool is_pooled_spare(int pid) const;
+  /// Roles currently played by a live lodger, ascending.
+  std::vector<std::pair<int, int>> doubled_roles();
+
+  // --- spare-pool accounting ----------------------------------------------------
+  struct SpareCounters {
+    std::uint64_t promotions = 0;      ///< spares promoted into roles
+    std::uint64_t spare_failures = 0;  ///< pooled spares that died idle
+    std::uint64_t repairs = 0;         ///< dead hardware returned to pool
+    int low_water = 0;                 ///< minimum pool size observed
+    std::uint64_t roles_doubled = 0;   ///< shrink-to-survive transitions
+    std::uint64_t roles_undoubled = 0; ///< doubled roles relieved by spares
+  };
+  const SpareCounters& spare_counters() const { return spare_counters_; }
+  /// Emit SparePoolLow trace events on new pool minima. Off by default so
+  /// runs without the burst/repair lifecycle keep a byte-identical trace.
+  void enable_spare_lifecycle_trace() { spare_trace_ = true; }
 
   // --- manager channel -----------------------------------------------------------
   // The job-level ACR manager (failure handling, checkpoint timing) is a
@@ -277,6 +335,16 @@ class Cluster {
   /// Drop receiver-side stashed frames on links touching a reset endpoint.
   void purge_rx(int endpoint);
 
+  /// Kill one physical node (resetting its role endpoint if it plays one)
+  /// and cascade to any lodgers riding its hardware.
+  void kill_pid(int pid);
+  /// Follow lodger->host links down to real hardware.
+  int resolve_host(int pid) const;
+  /// Live lodgers currently hosted on hardware `pid`.
+  int lodger_load(int pid) const;
+  /// Track pool minima (low-water counter + optional trace).
+  void note_pool_level();
+
   Engine& engine_;
   ClusterConfig config_;
   TraceLog trace_;
@@ -287,6 +355,12 @@ class Cluster {
   /// role_table_[replica][node_index] -> physical id (-1 when unmanned).
   std::vector<std::vector<int>> role_table_;
   std::vector<int> spare_pool_;  ///< physical ids of unused spares
+  int num_hardware_ = 0;  ///< nodes_ prefix that is real hardware
+  /// Lodger pid -> hardware pid hosting it (shrink-to-survive doubling).
+  /// Entries persist after a lodger dies; liveness decides relevance.
+  std::map<int, int> lodger_host_;
+  SpareCounters spare_counters_;
+  bool spare_trace_ = false;
   std::vector<int> in_flight_{0, 0};
   std::vector<std::uint64_t> app_epoch_{0, 0};
   Pcg32 jitter_rng_;

@@ -77,6 +77,13 @@ void Node::kill() {
   ++incarnation_;
 }
 
+void Node::revive() {
+  ACR_REQUIRE(!alive_, "revive() is only meaningful on a dead node");
+  alive_ = true;
+  gated_ = false;
+  ++incarnation_;
+}
+
 void Node::create_tasks() {
   ACR_REQUIRE(assigned(), "cannot create tasks on an unassigned node");
   ACR_REQUIRE(cluster_.task_factory() != nullptr, "no task factory set");

@@ -48,6 +48,11 @@ class Node {
   bool alive() const { return alive_; }
   /// Fail-stop: the node drops all traffic and fires no more events.
   void kill();
+  /// Return a repaired node to service: alive and ungated again, with a
+  /// fresh incarnation (events scheduled by the dead incarnation stay
+  /// inert). The caller decides what to do with it — typically re-pool it
+  /// as a spare; tasks and role are re-established at the next promotion.
+  void revive();
   std::uint64_t incarnation() const { return incarnation_; }
 
   /// Restart barrier gate: while gated, task-level messages are dropped
