@@ -10,6 +10,7 @@
 //   ./build/examples/acr_driver --app=leanmd --adaptive --weibull-shape=0.6
 //
 //   ./build/examples/acr_driver --help
+#include <cmath>
 #include <cstdio>
 #include <utility>
 
@@ -54,6 +55,10 @@ int main(int argc, char** argv) {
   double net_reorder = 0.0;
   double net_corrupt = 0.0;
   int net_retry_budget = 10;
+  double l2_bandwidth = 0.0;
+  double l2_latency = std::nan("");  // sentinel: unset, take TierConfig default
+  int flush_interval = 0;    // sentinel: unset, take the TierConfig default
+  double halt_after = 0.0;
   std::string kernel_impl = "auto";
   int kernel_threads = 0;
   std::uint64_t seed = 1;
@@ -117,6 +122,19 @@ int main(int argc, char** argv) {
                  "per-frame in-flight bit-flip probability [0,1]");
   cli.add_int("net-retry-budget", &net_retry_budget,
               "retransmits per frame before a link is declared failed");
+  cli.add_double("l2-bandwidth", &l2_bandwidth,
+                 "simulated durable-tier (burst buffer) write bandwidth in "
+                 "bytes/second; 0 disables the tier entirely");
+  cli.add_double("l2-latency", &l2_latency,
+                 "per-chunk durable-tier access latency, seconds "
+                 "(default 1e-4; requires --l2-bandwidth > 0)");
+  cli.add_int("flush-interval", &flush_interval,
+              "flush every Nth committed checkpoint epoch to the durable "
+              "tier (default 1; requires --l2-bandwidth > 0)");
+  cli.add_double("halt-after", &halt_after,
+                 "at this virtual time, stop checkpointing, drain the newest "
+                 "verified epoch to the durable tier, and exit cleanly "
+                 "(0 = run to completion; requires --l2-bandwidth > 0)");
   cli.add_choice("kernel-impl", &kernel_impl, {"auto", "portable", "hw"},
                  "data-plane CRC32C kernel: auto (cpuid), portable "
                  "(slicing-by-8 tables), hw (SSE4.2 crc32q); digests are "
@@ -176,6 +194,47 @@ int main(int argc, char** argv) {
                  kernel_threads);
     return 2;
   }
+  if (l2_bandwidth < 0.0) {
+    std::fprintf(stderr, "error: --l2-bandwidth=%g must be >= 0 (0 disables)\n",
+                 l2_bandwidth);
+    return 2;
+  }
+  if (l2_bandwidth == 0.0) {
+    // The tier is off; reject flags that silently depend on it.
+    if (!std::isnan(l2_latency)) {
+      std::fprintf(stderr,
+                   "error: --l2-latency requires --l2-bandwidth > 0 (the "
+                   "durable tier is disabled)\n");
+      return 2;
+    }
+    if (flush_interval != 0) {
+      std::fprintf(stderr,
+                   "error: --flush-interval requires --l2-bandwidth > 0 (the "
+                   "durable tier is disabled)\n");
+      return 2;
+    }
+    if (halt_after > 0.0) {
+      std::fprintf(stderr,
+                   "error: --halt-after drains to the durable tier; it "
+                   "requires --l2-bandwidth > 0\n");
+      return 2;
+    }
+  } else {
+    if (!std::isnan(l2_latency) && l2_latency < 0.0) {
+      std::fprintf(stderr, "error: --l2-latency=%g must be >= 0\n", l2_latency);
+      return 2;
+    }
+    if (flush_interval < 0) {
+      std::fprintf(stderr, "error: --flush-interval=%d must be >= 1\n",
+                   flush_interval);
+      return 2;
+    }
+    if (halt_after < 0.0) {
+      std::fprintf(stderr, "error: --halt-after=%g must be >= 0\n",
+                   halt_after);
+      return 2;
+    }
+  }
   checksum::set_kernel_impl(kernel_impl == "portable"
                                 ? checksum::KernelImpl::Portable
                             : kernel_impl == "hw" ? checksum::KernelImpl::Hw
@@ -226,6 +285,15 @@ int main(int argc, char** argv) {
                                            : ckpt::Scheme::Partner;
   ac.degrade = degrade == "shrink" ? DegradeMode::Shrink : DegradeMode::Abort;
   if (xor_group_size > 0) ac.xor_group_size = xor_group_size;
+  ac.tier.bandwidth = l2_bandwidth;
+  if (!std::isnan(l2_latency)) ac.tier.latency = l2_latency;
+  if (flush_interval > 0)
+    ac.tier.flush_interval = static_cast<std::uint64_t>(flush_interval);
+  ac.halt_after = halt_after;
+  if (const char* err = validate_tier_config(ac)) {
+    std::fprintf(stderr, "error: %s\n", err);
+    return 2;
+  }
   // Scheme/flag combinations the manager would reject (e.g. xor under a
   // non-strong resilience scheme) become CLI errors instead of aborts.
   if (const char* err = validate_redundancy_config(ac, nodes)) {
@@ -324,7 +392,10 @@ int main(int argc, char** argv) {
   std::printf("app=%s scheme=%s detection=%s nodes/replica=%d\n", app.c_str(),
               scheme.c_str(), detection.c_str(), nodes);
   std::printf("outcome: %s at t=%.4f s (virtual)\n",
-              s.complete ? "COMPLETE" : (s.failed ? "FAILED" : "TIMED OUT"),
+              s.complete ? "COMPLETE"
+              : s.failed ? "FAILED"
+              : s.drained ? "DRAINED"
+                          : "TIMED OUT",
               s.finish_time);
   std::printf(
       "checkpoints=%llu  hard failures=%llu  recoveries=%llu  "
@@ -363,6 +434,18 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.spare_repairs), s.spare_low_water,
         static_cast<unsigned long long>(s.roles_doubled),
         static_cast<unsigned long long>(s.roles_undoubled));
+  // Only printed when the durable tier is enabled: keeps single-tier output
+  // byte-identical to builds that predate the tier.
+  if (ac.tier.enabled())
+    std::printf(
+        "durable tier: flushes=%llu bytes=%llu fetches=%llu waves=%llu "
+        "scavenges=%llu newest-durable=%llu\n",
+        static_cast<unsigned long long>(s.l2_flushes),
+        static_cast<unsigned long long>(s.l2_flush_bytes),
+        static_cast<unsigned long long>(s.l2_fetches),
+        static_cast<unsigned long long>(s.l2_fetch_waves),
+        static_cast<unsigned long long>(s.l2_scavenges),
+        static_cast<unsigned long long>(s.l2_newest_durable));
   // Only printed for non-default redundancy: keeps partner output
   // byte-identical to builds that predate the pluggable ckpt layer.
   if (ac.redundancy != ckpt::Scheme::Partner) {
@@ -401,5 +484,5 @@ int main(int argc, char** argv) {
                   rt::trace_kind_name(e.kind), e.replica, e.node_index,
                   e.detail.c_str());
   }
-  return s.complete ? 0 : 1;
+  return (s.complete || s.drained) ? 0 : 1;
 }

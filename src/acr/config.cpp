@@ -55,4 +55,21 @@ const char* validate_redundancy_config(const AcrConfig& config,
   return "unknown redundancy scheme";
 }
 
+const char* validate_tier_config(const AcrConfig& config) {
+  const ckpt::TierConfig& t = config.tier;
+  if (t.bandwidth < 0.0) return "l2 bandwidth must be >= 0 (0 disables)";
+  if (!t.enabled()) {
+    if (config.halt_after > 0.0)
+      return "halt-after drains to the durable tier; it requires l2 "
+             "bandwidth > 0";
+    return nullptr;
+  }
+  if (t.latency < 0.0) return "l2 latency must be >= 0";
+  if (t.chunk_bytes == 0) return "l2 flush chunk size must be >= 1 byte";
+  if (t.flush_interval == 0)
+    return "flush interval must be >= 1 (flush every k-th committed epoch)";
+  if (config.halt_after < 0.0) return "halt-after must be >= 0 (0 = never)";
+  return nullptr;
+}
+
 }  // namespace acr

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "ckpt/redundancy.h"
+#include "ckpt/tier.h"
 #include "failure/adaptive_interval.h"
 #include "pup/checker.h"
 
@@ -87,6 +88,17 @@ struct AcrConfig {
 
   /// Stream comparison tolerances (FullCompare mode).
   pup::CheckerConfig checker;
+
+  /// Durable L2 tier behind the in-memory redundancy schemes (tier.h).
+  /// Disabled (bandwidth == 0) by default; when enabled, committed epochs
+  /// trickle to the simulated burst buffer asynchronously and the recovery
+  /// ladder gains an L2-fetch rung between L1 rebuild and scratch restart.
+  ckpt::TierConfig tier;
+
+  /// Halt-control surface: at this virtual time the manager stops starting
+  /// new checkpoints, drains the newest verified epoch to L2, and the run
+  /// ends with RunSummary::drained set. 0 = never. Requires the tier.
+  double halt_after = 0.0;
 };
 
 /// Check redundancy-scheme coherence: returns nullptr when valid, else a
@@ -94,5 +106,10 @@ struct AcrConfig {
 /// Manager's construction-time ACR_REQUIREs).
 const char* validate_redundancy_config(const AcrConfig& config,
                                        int nodes_per_replica);
+
+/// Check durable-tier coherence: returns nullptr when valid, else a
+/// human-readable reason (shared by the driver's CLI validation and the
+/// Manager's construction-time ACR_REQUIREs).
+const char* validate_tier_config(const AcrConfig& config);
 
 }  // namespace acr

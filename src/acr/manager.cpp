@@ -23,6 +23,15 @@ Manager::Manager(AcrEnv env, AgentInstaller installer)
   if (const char* err = validate_redundancy_config(
           *env_.config, env_.cluster->nodes_per_replica()))
     ACR_REQUIRE(false, err);
+  if (const char* err = validate_tier_config(*env_.config))
+    ACR_REQUIRE(false, err);
+  if (env_.config->tier.enabled())
+    ACR_REQUIRE(env_.tier != nullptr,
+                "tier enabled but no DurableTier attached to the env");
+}
+
+bool Manager::tier_enabled() const {
+  return env_.tier != nullptr && env_.config->tier.enabled();
 }
 
 double Manager::now() const { return env_.cluster->engine().now(); }
@@ -66,7 +75,7 @@ void Manager::guard_tick() {
 }
 
 void Manager::schedule_tick() {
-  if (complete_ || failed_) return;
+  if (complete_ || failed_ || drain_requested_) return;
   if (!env_.config->periodic_checkpoints ||
       env_.config->scheme == ResilienceScheme::HardOnly)
     return;
@@ -78,7 +87,7 @@ void Manager::schedule_tick() {
 
 void Manager::tick() {
   tick_armed_ = false;
-  if (complete_ || failed_) return;
+  if (complete_ || failed_ || drain_requested_) return;
   if (ckpt_ || recovery_) {
     // Busy with another protocol; retry shortly.
     tick_id_ = env_.cluster->engine().schedule_after(
@@ -215,17 +224,23 @@ void Manager::commit_checkpoint() {
   wire::EpochMsg msg{ckpt_->epoch};
   broadcast_participants(3, wire::kCommit, rt::pack_payload(msg));
   bool was_final = final_verify_epoch_ != 0 && ckpt_->epoch == final_verify_epoch_;
+  std::uint64_t epoch = ckpt_->epoch;
   ckpt_.reset();
   if (was_final) {
     final_verify_epoch_ = 0;
     declare_complete(-1);
     return;
   }
+  // The durable tier drains asynchronously AFTER the commit: the flush
+  // never delays the next checkpoint barrier (separate command, separate
+  // per-node L2 pipe).
+  maybe_request_flush(epoch, 3);
   schedule_tick();
   maybe_finalize();
   // Right after a commit is the cheapest moment to relieve a doubled role:
   // the rollback in its recovery wave loses almost nothing.
   maybe_undouble();
+  maybe_finish_drain();
 }
 
 void Manager::rollback_sdc() {
@@ -283,6 +298,10 @@ void Manager::handle_pack_done(const wire::EpochMsg& msg, int src_node) {
   broadcast(healthy, wire::kCommit, rt::pack_payload(commit));
   trace().record(now(), rt::TraceKind::CheckpointCommitted, healthy, -1,
                  "recovery epoch=" + std::to_string(ckpt_->epoch));
+  // Only the healthy replica holds the new epoch; the crashed side's roles
+  // re-flush after their restores land (maybe_reflush_after_restore).
+  maybe_request_flush(ckpt_->epoch,
+                      static_cast<std::uint8_t>(1u << healthy));
   ckpt_.reset();
 }
 
@@ -323,6 +342,15 @@ void Manager::handle_suspect_role(int replica, int node_index) {
       escalate_rollback_all();
       return;
     }
+  }
+  if (recovery_ && recovery_->fetch_epoch != 0) {
+    // A node died while its wave was reading from L2. The tier still holds
+    // the epoch (publishes are durable), so retry the fetch under a fresh
+    // barrier instead of escalating to an L1 rollback of state that no
+    // longer exists anywhere in memory.
+    recovery_.reset();
+    restart_from_scratch();
+    return;
   }
   if (recovery_ || weak_recovery_pending_) {
     // Overlapping failures: the paper's answer is a rollback to the
@@ -555,6 +583,7 @@ void Manager::finish_recovery() {
   broadcast_participants(3, wire::kResume, {});
   schedule_tick();
   maybe_finalize();
+  maybe_finish_drain();
 }
 
 void Manager::escalate_rollback_all() {
@@ -659,7 +688,13 @@ void Manager::escalate_rollback_all() {
   recovery_ = rec;
 }
 
-void Manager::restart_from_scratch() {
+void Manager::restart_from_scratch(bool allow_fetch) {
+  // Recovery-ladder rung 2: before throwing all progress away, restore the
+  // whole job from the newest fully-flushed L2 epoch. Every pre-tier call
+  // site of the scratch path goes through here, so enabling the tier
+  // upgrades them all; a failed/impossible fetch re-enters with
+  // allow_fetch=false and genuinely restarts at iteration zero.
+  if (allow_fetch && try_fetch_from_durable()) return;
   ++scratch_restarts_;
   trace().record(now(), rt::TraceKind::Rollback, -1, -1,
                  "restart from scratch");
@@ -702,6 +737,141 @@ void Manager::restart_from_scratch() {
   });
   broadcast_participants(3, wire::kResume, {});
   schedule_tick();
+  maybe_finish_drain();
+}
+
+// ---------------------------------------------------------------------------
+// Durable tier: flush orchestration, fetch waves, drain.
+// ---------------------------------------------------------------------------
+
+void Manager::maybe_request_flush(std::uint64_t epoch,
+                                  std::uint8_t participants) {
+  if (!tier_enabled()) return;
+  if (committed_ % env_.config->tier.flush_interval != 0) return;
+  wire::FlushCmdMsg msg{epoch, 0};
+  broadcast_participants(participants, wire::kFlushCommand,
+                         rt::pack_payload(msg));
+}
+
+void Manager::handle_flush_done(const wire::FlushDoneMsg& msg,
+                                int src_replica, int src_node) {
+  if (!tier_enabled()) return;
+  if (msg.scavenged) ++l2_scavenges_;
+  std::uint64_t complete = env_.tier->newest_complete_epoch();
+  if (complete > l2_durable_epoch_) {
+    l2_durable_epoch_ = complete;
+    if (env_.cluster->trace_enabled(rt::kTraceTier))
+      trace().record(now(), rt::TraceKind::EpochDurable, -1, -1,
+                     "epoch=" + std::to_string(complete));
+    // Older L2 epochs are strictly dominated; keep the boundary only.
+    env_.tier->prune(complete);
+    if (env_.config->adaptive) {
+      // Feed the adaptive controller the amortized flush cost per
+      // checkpoint period so its Young/Daly delta reflects both tiers.
+      const ckpt::TierConfig& t = env_.config->tier;
+      double bytes = static_cast<double>(
+          env_.tier->blob_bytes(src_replica, src_node, complete));
+      double per_flush = t.latency + bytes / t.bandwidth;
+      adaptive_.set_flush_overhead(
+          per_flush / static_cast<double>(t.flush_interval));
+    }
+  }
+  maybe_finish_drain();
+}
+
+bool Manager::try_fetch_from_durable() {
+  if (!tier_enabled()) return false;
+  std::uint64_t epoch = env_.tier->newest_complete_epoch();
+  if (epoch == 0) return false;
+  // A fetch wave is a full-job relaunch served from L2: every dead role
+  // gets a spare (or doubles up), every live role abandons its timeline.
+  for (int r = 0; r < 2; ++r) {
+    for (int i = 0; i < env_.cluster->nodes_per_replica(); ++i) {
+      if (!env_.cluster->role_alive(r, i)) {
+        if (!promote_and_install(r, i)) return true;  // pool exhausted: over
+      }
+    }
+  }
+  dead_roles_.clear();
+  weak_recovery_pending_ = false;
+  escalated_ = false;
+  recovery_.reset();
+  ckpt_.reset();
+  final_verify_epoch_ = 0;
+  verified_epoch_ = epoch;
+  env_.cluster->bump_app_epoch(0);
+  env_.cluster->bump_app_epoch(1);
+  done_nodes_[0].clear();
+  done_nodes_[1].clear();
+  std::uint64_t barrier = next_barrier_++;
+  // Abandoned waves' rollback/rebuild commands may still be in flight;
+  // raise every agent's restore floor so only THIS wave's restores apply.
+  for (int r = 0; r < 2; ++r) {
+    for (int i = 0; i < env_.cluster->nodes_per_replica(); ++i) {
+      rt::Node* n = env_.cluster->role_node(r, i);
+      if (n == nullptr || n->service() == nullptr) continue;
+      static_cast<NodeAgent*>(n->service())->quash_restores_through(barrier -
+                                                                    1);
+    }
+  }
+  ++l2_fetch_waves_;
+  if (env_.cluster->trace_enabled(rt::kTraceTier))
+    trace().record(now(), rt::TraceKind::FetchStarted, -1, -1,
+                   "wave epoch=" + std::to_string(epoch) +
+                       " barrier=" + std::to_string(barrier));
+  wire::RestoreCmdMsg cmd{epoch, barrier};
+  for (int r = 0; r < 2; ++r)
+    broadcast(r, wire::kFetchFromDurable, rt::pack_payload(cmd));
+  ActiveRecovery rec;
+  rec.scheme = env_.config->scheme;
+  rec.crashed_replica = -1;
+  rec.restore_target = 2 * env_.cluster->nodes_per_replica();
+  rec.restored_replicas = 3;
+  rec.counts_as_recovery = false;
+  rec.barrier = barrier;
+  rec.fetch_epoch = epoch;
+  recovery_ = rec;
+  return true;
+}
+
+void Manager::request_drain() {
+  if (complete_ || failed_ || drain_requested_) return;
+  drain_requested_ = true;
+  if (env_.cluster->trace_enabled(rt::kTraceTier))
+    trace().record(now(), rt::TraceKind::DrainRequested, -1, -1,
+                   "verified epoch=" + std::to_string(verified_epoch_));
+  if (tick_armed_) {
+    env_.cluster->engine().cancel(tick_id_);
+    tick_armed_ = false;
+  }
+  maybe_finish_drain();
+}
+
+void Manager::maybe_finish_drain() {
+  if (!drain_requested_ || drained_ || complete_ || failed_) return;
+  if (ckpt_ || recovery_ || weak_recovery_pending_) return;
+  if (tier_enabled() && verified_epoch_ != 0 &&
+      l2_durable_epoch_ < verified_epoch_) {
+    // The newest verified epoch is not fully durable yet: push urgent
+    // (scavenge-class) flushes to exactly the roles whose blobs are
+    // missing, once per target epoch.
+    if (drain_flush_epoch_ < verified_epoch_) {
+      drain_flush_epoch_ = verified_epoch_;
+      wire::FlushCmdMsg msg{verified_epoch_, 1};
+      for (int r = 0; r < 2; ++r) {
+        for (int i = 0; i < env_.cluster->nodes_per_replica(); ++i) {
+          if (env_.tier->has(r, i, verified_epoch_)) continue;
+          env_.cluster->send_from_manager(r, i, wire::kFlushCommand,
+                                          rt::pack_payload(msg));
+        }
+      }
+    }
+    return;  // handle_flush_done re-enters when the drain makes progress
+  }
+  drained_ = true;
+  if (env_.cluster->trace_enabled(rt::kTraceTier))
+    trace().record(now(), rt::TraceKind::DrainCompleted, -1, -1,
+                   "durable epoch=" + std::to_string(l2_durable_epoch_));
 }
 
 // ---------------------------------------------------------------------------
@@ -815,6 +985,25 @@ void Manager::on_message(const rt::Message& m) {
         recovery_.reset();
         restart_from_scratch();
       }
+      return;
+    }
+    case wire::kFlushDone:
+      return handle_flush_done(rt::unpack_payload<wire::FlushDoneMsg>(m),
+                               m.src_replica, m.src.node_index);
+    case wire::kFetchFailed: {
+      // A node's L2 blob vanished under an active fetch wave. Abandon the
+      // wave and restart genuinely from scratch — re-fetching would target
+      // the same incomplete epoch.
+      auto bar = rt::unpack_payload<wire::BarrierMsg>(m);
+      if (!recovery_ || recovery_->fetch_epoch == 0 ||
+          bar.barrier != recovery_->barrier)
+        return;
+      log_warn("acr.manager")
+          << "l2 fetch failed on (" << m.src_replica << ","
+          << m.src.node_index << ") barrier " << bar.barrier
+          << "; degrading to scratch restart";
+      recovery_.reset();
+      restart_from_scratch(/*allow_fetch=*/false);
       return;
     }
     case wire::kNodeDone:

@@ -51,8 +51,15 @@ class Manager {
   /// progress to its rollback).
   void note_spare_available();
 
+  /// Halt-control surface (--halt-after): stop starting new checkpoints,
+  /// drain the newest verified epoch to the durable tier, then mark the job
+  /// drained. With the tier disabled (or nothing verified) the drain
+  /// completes as soon as no protocol is in flight.
+  void request_drain();
+
   bool job_complete() const { return complete_; }
   bool job_failed() const { return failed_; }
+  bool job_drained() const { return drained_; }
 
   // --- counters (cross-checked against the TraceLog in tests) ---------------
   std::uint64_t checkpoints_committed() const { return committed_; }
@@ -62,6 +69,12 @@ class Manager {
   std::uint64_t scratch_restarts() const { return scratch_restarts_; }
   double current_interval() const;
   std::uint64_t verified_epoch() const { return verified_epoch_; }
+  /// Newest epoch every role of every replica has published to L2.
+  std::uint64_t l2_newest_durable() const { return l2_durable_epoch_; }
+  /// Fetch waves started (recoveries served from L2 instead of scratch).
+  std::uint64_t l2_fetch_waves() const { return l2_fetch_waves_; }
+  /// Urgent (drain/scavenge) flushes that actually published an image.
+  std::uint64_t l2_scavenges() const { return l2_scavenges_; }
 
  private:
   enum class CkptPurpose { Periodic, Recovery };
@@ -96,6 +109,10 @@ class Manager {
     /// False for plain rollbacks (SDC) that reuse the restore barrier but
     /// are not hard-error recoveries.
     bool counts_as_recovery = true;
+    /// Non-zero when this wave restores from the durable tier: the L2 epoch
+    /// being fetched. A failure mid-wave retries the fetch (fresh barrier)
+    /// rather than escalating to a rollback of state that no longer exists.
+    std::uint64_t fetch_epoch = 0;
   };
 
   void on_message(const rt::Message& m);
@@ -134,8 +151,26 @@ class Manager {
   void handle_link_failure(int src_replica, int src_node, int dst_replica,
                            int dst_node);
   void escalate_rollback_all();
-  void restart_from_scratch();
+  /// Last rung of the recovery ladder. When `allow_fetch`, first tries the
+  /// L2-fetch rung (try_fetch_from_durable); only a tier with no complete
+  /// epoch (or a failed fetch wave retrying) actually restarts at zero.
+  void restart_from_scratch(bool allow_fetch = true);
   bool promote_and_install(int replica, int node_index);
+
+  // Durable tier (all no-ops unless env_.tier attached AND config tier
+  // enabled — the gate keeping no-L2 runs byte-identical).
+  bool tier_enabled() const;
+  /// After the `epoch` commit: order the committing replicas to drain their
+  /// new verified images to L2 (every flush_interval-th commit).
+  void maybe_request_flush(std::uint64_t epoch, std::uint8_t participants);
+  void handle_flush_done(const wire::FlushDoneMsg& msg, int src_replica,
+                         int src_node);
+  /// Promote spares for all dead roles and start a fetch wave targeting the
+  /// newest fully-flushed L2 epoch. False when the tier is disabled or
+  /// holds no complete epoch (caller falls through to scratch).
+  bool try_fetch_from_durable();
+  /// Drain progress: flush what is missing, else declare the job drained.
+  void maybe_finish_drain();
   /// Shrink-to-survive epilogue: when idle with a spare in the pool and a
   /// doubled role outstanding, retire the lodger and run a (non-counting)
   /// recovery to move the role onto real hardware. One role per call.
@@ -197,6 +232,14 @@ class Manager {
   std::uint64_t hard_failures_ = 0;
   std::uint64_t recoveries_ = 0;
   std::uint64_t scratch_restarts_ = 0;
+
+  // Durable-tier state (inert while the tier is disabled).
+  bool drain_requested_ = false;
+  bool drained_ = false;
+  std::uint64_t l2_durable_epoch_ = 0;   ///< newest complete epoch seen
+  std::uint64_t drain_flush_epoch_ = 0;  ///< epoch the drain last pushed
+  std::uint64_t l2_fetch_waves_ = 0;
+  std::uint64_t l2_scavenges_ = 0;
 
   rt::Engine::EventId tick_id_ = 0;
   bool tick_armed_ = false;

@@ -120,6 +120,7 @@ void NodeAgent::rebind_role() {
 }
 
 void NodeAgent::reset_for_restart() {
+  supersede_flush(/*trace=*/false);  // the store is about to be wiped
   phase_ = Phase::Idle;
   epoch_ = 0;
   progress_stash_.clear();
@@ -271,6 +272,11 @@ void NodeAgent::on_service_message(const rt::Message& m) {
       return handle_send_to_buddy(m, /*candidate=*/false);
     case wire::kSendCandidateToBuddy:
       return handle_send_to_buddy(m, /*candidate=*/true);
+    case wire::kFlushCommand:
+      return handle_flush_command(rt::unpack_payload<wire::FlushCmdMsg>(m));
+    case wire::kFetchFromDurable:
+      return handle_fetch_from_durable(
+          rt::unpack_payload<wire::RestoreCmdMsg>(m));
     case wire::kXorRebuildSend: {
       auto cmd = rt::unpack_payload<wire::XorRebuildCmd>(m);
       if (ckpt::XorScheme* x = xor_scheme())
@@ -628,6 +634,10 @@ void NodeAgent::handle_commit(const wire::EpochMsg& msg) {
     // A new verified image exists: let the redundancy scheme protect it
     // (no-op under local/partner — the buddy already holds its copy).
     scheme_->on_verified(store_.verified());
+    // An in-flight flush of the previous epoch is now pointless: the next
+    // kFlushCommand targets the new verified image.
+    if (tier_enabled() && flush_.active && flush_.epoch < msg.epoch)
+      supersede_flush(/*trace=*/true);
   }
   phase_ = Phase::Idle;
   node_.unpause_all();
@@ -690,6 +700,10 @@ void NodeAgent::restore_from(const ckpt::Image& ckpt, const char* why,
     // after the rollback wave; holders that already completed this epoch
     // ignore them.
     scheme_->on_verified(store_.verified());
+    // If L2 lacks the adopted epoch for this role (a promoted spare whose
+    // predecessor died mid-flush), re-drain it so the epoch converges back
+    // to fully-flushed. No-op when the tier is disabled.
+    maybe_reflush_after_restore();
     // Two-phase restart (the paper's restart barriers): report done, stay
     // gated, and resume only on the manager's collective go (kResume).
     awaiting_go_ = true;
@@ -728,6 +742,166 @@ void NodeAgent::handle_resume() {
     node_.set_gated(false);
     node_.resume_all_tasks();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Durable tier: async flush (L1 -> L2 drain) and fetch (L2 -> L1 restore).
+// ---------------------------------------------------------------------------
+
+bool NodeAgent::tier_enabled() const {
+  return env_.tier != nullptr && env_.config->tier.enabled();
+}
+
+void NodeAgent::handle_flush_command(const wire::FlushCmdMsg& msg) {
+  if (!tier_enabled()) return;
+  start_flush(msg.epoch, msg.urgent != 0);
+}
+
+void NodeAgent::start_flush(std::uint64_t epoch, bool urgent) {
+  if (!tier_enabled() || !node_.alive()) return;
+  // Only the CURRENT verified image may drain: a stale command for an epoch
+  // this node no longer holds (or never promoted) is unservable.
+  if (!store_.has_verified() || store_.verified().epoch != epoch) return;
+  if (flush_.active && flush_.epoch == epoch) {
+    // A drain command caught a background flush of the same epoch mid-air:
+    // upgrade its urgency, keep its chunks.
+    flush_.urgent = flush_.urgent || urgent;
+    return;
+  }
+  if (flush_.active) supersede_flush(/*trace=*/true);
+  if (env_.tier->has(replica_, index_, epoch)) {
+    // Already durable (a fetch round-tripped the image, or a drain re-asks):
+    // answer from the index without touching the channel.
+    wire::FlushDoneMsg done{epoch, 0};
+    send_to_manager(wire::kFlushDone, rt::pack_payload(done));
+    return;
+  }
+  flush_.active = true;
+  flush_.epoch = epoch;
+  flush_.urgent = urgent;
+  flush_.remaining =
+      ckpt::encoded_image_bytes(store_.verified().image.size());
+  std::uint64_t seq = ++flush_seq_;
+  if (env_.cluster->trace_enabled(rt::kTraceTier))
+    env_.cluster->trace().record(
+        now(), rt::TraceKind::FlushStarted, replica_, index_,
+        "epoch=" + std::to_string(epoch) +
+            " bytes=" + std::to_string(flush_.remaining));
+  flush_next_chunk(seq);
+}
+
+void NodeAgent::flush_next_chunk(std::uint64_t seq) {
+  if (seq != flush_seq_ || !flush_.active) return;
+  if (!node_.alive()) {
+    // Death mid-flush: nothing was published — the tier never sees a
+    // half-written image (the in-memory analogue of temp-file + rename).
+    flush_.active = false;
+    return;
+  }
+  std::uint64_t chunk =
+      std::min<std::uint64_t>(flush_.remaining, env_.config->tier.chunk_bytes);
+  double delay = env_.cluster->l2_write(replica_ * num_nodes_ + index_,
+                                        static_cast<double>(chunk));
+  env_.cluster->engine().schedule_after(delay, [this, seq, chunk]() {
+    if (seq != flush_seq_ || !flush_.active) return;
+    if (!node_.alive()) {
+      flush_.active = false;
+      return;
+    }
+    flush_.remaining -= chunk;
+    if (flush_.remaining > 0) {
+      flush_next_chunk(seq);
+      return;
+    }
+    // Final chunk landed. Publish only if the store STILL holds this epoch
+    // as verified — an in-place restore may have replaced it meanwhile.
+    bool publish =
+        store_.has_verified() && store_.verified().epoch == flush_.epoch;
+    if (publish) {
+      ckpt::StoredImage img;
+      img.epoch = store_.verified().epoch;
+      img.iteration = store_.verified().iteration;
+      img.image = store_.verified().image;
+      env_.tier->publish(replica_, index_, img);
+    }
+    finish_flush(publish);
+  });
+}
+
+void NodeAgent::finish_flush(bool published) {
+  if (env_.cluster->trace_enabled(rt::kTraceTier))
+    env_.cluster->trace().record(
+        now(), rt::TraceKind::FlushCompleted, replica_, index_,
+        "epoch=" + std::to_string(flush_.epoch) +
+            (published ? "" : " (stale, not published)"));
+  wire::FlushDoneMsg done{
+      flush_.epoch,
+      static_cast<std::uint8_t>(published && flush_.urgent ? 1 : 0)};
+  flush_.active = false;
+  send_to_manager(wire::kFlushDone, rt::pack_payload(done));
+}
+
+void NodeAgent::supersede_flush(bool trace) {
+  if (!flush_.active) return;
+  ++flush_seq_;  // in-flight chunk completions fall dead
+  flush_.active = false;
+  if (trace && env_.cluster->trace_enabled(rt::kTraceTier))
+    env_.cluster->trace().record(now(), rt::TraceKind::FlushSuperseded,
+                                 replica_, index_,
+                                 "epoch=" + std::to_string(flush_.epoch));
+}
+
+void NodeAgent::maybe_reflush_after_restore() {
+  if (!tier_enabled()) return;
+  std::uint64_t epoch = store_.verified().epoch;
+  if (epoch == 0 || env_.tier->has(replica_, index_, epoch)) return;
+  start_flush(epoch, /*urgent=*/false);
+}
+
+void NodeAgent::handle_fetch_from_durable(const wire::RestoreCmdMsg& msg) {
+  if (msg.barrier <= last_restore_barrier_) return;  // wave already taken
+  if (!tier_enabled()) return;
+  // The wave's epoch is authoritative now; any background flush is moot.
+  supersede_flush(/*trace=*/true);
+  std::uint64_t bytes = env_.tier->blob_bytes(replica_, index_, msg.epoch);
+  if (bytes == 0) {
+    // The manager targets newest_complete_epoch(), so this is only
+    // reachable if the tier's contents changed under the wave; report back
+    // so it can fall to the next rung instead of hanging the barrier.
+    wire::BarrierMsg fail{msg.barrier};
+    send_to_manager(wire::kFetchFailed, rt::pack_payload(fail));
+    return;
+  }
+  node_.set_gated(true);  // the restore owns this node now
+  if (env_.cluster->trace_enabled(rt::kTraceTier))
+    env_.cluster->trace().record(
+        now(), rt::TraceKind::FetchStarted, replica_, index_,
+        "epoch=" + std::to_string(msg.epoch) +
+            " bytes=" + std::to_string(bytes));
+  double delay = env_.cluster->l2_read(replica_ * num_nodes_ + index_,
+                                       static_cast<double>(bytes));
+  env_.cluster->engine().schedule_after(
+      delay, [this, epoch = msg.epoch, barrier = msg.barrier]() {
+        if (!node_.alive()) return;
+        if (barrier <= last_restore_barrier_) return;  // superseded in flight
+        std::optional<ckpt::StoredImage> img =
+            env_.tier->fetch(replica_, index_, epoch);
+        if (!img) {
+          wire::BarrierMsg fail{barrier};
+          send_to_manager(wire::kFetchFailed, rt::pack_payload(fail));
+          return;
+        }
+        if (env_.cluster->trace_enabled(rt::kTraceTier))
+          env_.cluster->trace().record(now(), rt::TraceKind::FetchCompleted,
+                                       replica_, index_,
+                                       "epoch=" + std::to_string(epoch));
+        ckpt::Image local;
+        local.valid = true;
+        local.epoch = img->epoch;
+        local.iteration = img->iteration;
+        local.image = std::move(img->image);
+        restore_from(local, "l2 fetch", barrier);
+      });
 }
 
 void NodeAgent::handle_send_to_buddy(const rt::Message& m, bool candidate) {

@@ -28,6 +28,7 @@
 #include "acr/wire.h"
 #include "ckpt/redundancy.h"
 #include "ckpt/store.h"
+#include "ckpt/tier.h"
 #include "pup/pup.h"
 #include "rt/cluster.h"
 #include "rt/node.h"
@@ -38,6 +39,9 @@ namespace acr {
 struct AcrEnv {
   rt::Cluster* cluster = nullptr;
   const AcrConfig* config = nullptr;
+  /// Simulated L2 durable tier; null (or config->tier disabled) = the
+  /// single-tier protocol, byte-identical to builds without the tier.
+  ckpt::DurableTier* tier = nullptr;
 };
 
 class NodeAgent final : public rt::NodeService {
@@ -95,6 +99,8 @@ class NodeAgent final : public rt::NodeService {
     return store_.verified().image.bytes();
   }
   std::size_t checkpoints_packed() const { return checkpoints_packed_; }
+  /// An L2 flush of the verified image is in flight on this node.
+  bool flush_active() const { return flush_.active; }
   /// The double checkpoint store (verified/candidate epochs).
   const ckpt::Store& store() const { return store_; }
   /// The redundancy scheme protecting the verified image.
@@ -124,6 +130,23 @@ class NodeAgent final : public rt::NodeService {
   void handle_buddy_checkpoint(const rt::Message& m);
   void handle_buddy_checksum(const rt::Message& m);
   void handle_send_to_buddy(const rt::Message& m, bool candidate);
+
+  // Durable-tier plumbing (all no-ops unless env_.tier is attached AND
+  // config->tier.enabled() — the gate that keeps no-L2 runs byte-identical).
+  bool tier_enabled() const;
+  void handle_flush_command(const wire::FlushCmdMsg& msg);
+  /// Begin (or short-circuit) the chunked drain of the verified image of
+  /// `epoch` to L2. Publication happens only after the LAST chunk's I/O.
+  void start_flush(std::uint64_t epoch, bool urgent);
+  void flush_next_chunk(std::uint64_t seq);
+  void finish_flush(bool published);
+  /// Cancel an in-flight flush (a newer commit superseded its epoch, or a
+  /// restart wiped the store). Traces FlushSuperseded when `trace` is set.
+  void supersede_flush(bool trace);
+  /// A restore just adopted a verified image: re-drain it if L2 lacks it
+  /// (converges post-recovery epochs back to fully-flushed).
+  void maybe_reflush_after_restore();
+  void handle_fetch_from_durable(const wire::RestoreCmdMsg& msg);
 
   // Consensus steps.
   void maybe_send_progress_up();
@@ -209,6 +232,19 @@ class NodeAgent final : public rt::NodeService {
 
   // Two-phase restart barrier: restored, waiting for the collective go.
   bool awaiting_go_ = false;
+
+  // Async L2 flush state machine. Guarded by a sequence number, not the
+  // node incarnation: a flush of the SAME verified epoch legitimately
+  // survives an in-place restore, but any supersede/reset bumps the seq so
+  // stale chunk completions fall dead.
+  struct FlushState {
+    bool active = false;
+    std::uint64_t epoch = 0;
+    std::uint64_t remaining = 0;  ///< encoded bytes still to drain
+    bool urgent = false;          ///< drain/scavenge flush (counts as such)
+  };
+  FlushState flush_;
+  std::uint64_t flush_seq_ = 0;
 
   // Heartbeat state. Each node watches its buddy (cross-replica, §2.1) and
   // its reduction-tree parent and children (intra-replica), so every node

@@ -14,6 +14,12 @@ rt::ClusterConfig with_ckpt_groups(rt::ClusterConfig c,
                                    const AcrConfig& acr) {
   c.ckpt_group_size =
       acr.redundancy == ckpt::Scheme::Xor ? acr.xor_group_size : 0;
+  // The durable tier's cost model lives in the cluster (per-node busy-until
+  // pipes turned into DES events); mirror the ACR-level knobs into it.
+  if (acr.tier.enabled()) {
+    c.l2.bandwidth = acr.tier.bandwidth;
+    c.l2.latency = acr.tier.latency;
+  }
   return c;
 }
 }  // namespace
@@ -23,7 +29,11 @@ AcrRuntime::AcrRuntime(const AcrConfig& acr_config,
     : acr_config_(acr_config),
       cluster_(std::make_unique<rt::Cluster>(
           engine_, with_ckpt_groups(cluster_config, acr_config))),
-      fault_rng_(cluster_config.seed ^ 0xFA17ULL, 0xD15EA5E) {}
+      fault_rng_(cluster_config.seed ^ 0xFA17ULL, 0xD15EA5E) {
+  if (acr_config_.tier.enabled())
+    tier_ = std::make_unique<ckpt::DurableTier>(
+        2, cluster_config.nodes_per_replica);
+}
 
 AcrRuntime::~AcrRuntime() = default;
 
@@ -74,7 +84,7 @@ NodeAgent* AcrRuntime::install_agent(rt::Node& node) {
     agent->reset_for_restart();
     return agent;
   }
-  AcrEnv env{cluster_.get(), &acr_config_};
+  AcrEnv env{cluster_.get(), &acr_config_, tier_.get()};
   auto agent = std::make_unique<NodeAgent>(env, node);
   NodeAgent* raw = agent.get();
   node.set_service(std::move(agent));
@@ -89,9 +99,17 @@ void AcrRuntime::setup() {
     for (int i = 0; i < cluster_->nodes_per_replica(); ++i)
       install_agent(cluster_->node_at(r, i));
   manager_ = std::make_unique<Manager>(
-      AcrEnv{cluster_.get(), &acr_config_},
+      AcrEnv{cluster_.get(), &acr_config_, tier_.get()},
       [this](rt::Node& n) { return install_agent(n); });
   manager_->start();
+  if (acr_config_.tier.enabled()) {
+    // Tier protocol events only exist with the tier on; gating the trace
+    // here keeps no-L2 traces byte-identical to the single-tier build.
+    cluster_->enable_trace(rt::kTraceTier);
+    if (acr_config_.halt_after > 0.0)
+      engine_.schedule_at(acr_config_.halt_after,
+                          [this]() { manager_->request_drain(); });
+  }
   cluster_->start_application();
   if (fault_plan_.arrivals) schedule_next_fault(0.0);
   if (burst_config_.enabled()) arm_burst_injection();
@@ -213,7 +231,7 @@ void AcrRuntime::schedule_repair(int pid) {
 RunSummary AcrRuntime::run(double max_virtual_time) {
   ACR_REQUIRE(setup_done_, "call setup() before run()");
   while (engine_.now() < max_virtual_time && !manager_->job_complete() &&
-         !manager_->job_failed()) {
+         !manager_->job_failed() && !manager_->job_drained()) {
     if (!engine_.step()) break;
   }
   RunSummary s;
@@ -247,6 +265,15 @@ RunSummary AcrRuntime::run(double max_virtual_time) {
   s.spare_low_water = sc.low_water;
   s.roles_doubled = sc.roles_doubled;
   s.roles_undoubled = sc.roles_undoubled;
+  s.drained = manager_->job_drained();
+  if (tier_) {
+    s.l2_flushes = tier_->publishes();
+    s.l2_flush_bytes = tier_->bytes_published();
+    s.l2_fetches = tier_->fetches();
+    s.l2_fetch_waves = manager_->l2_fetch_waves();
+    s.l2_scavenges = manager_->l2_scavenges();
+    s.l2_newest_durable = manager_->l2_newest_durable();
+  }
   for (int r = 0; r < 2; ++r) {
     for (int i = 0; i < cluster_->nodes_per_replica(); ++i) {
       // role_node, not node_at: on a failed run the repair path may have

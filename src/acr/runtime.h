@@ -80,6 +80,14 @@ struct RunSummary {
   int spare_low_water = 0;             ///< minimum pool size observed
   std::uint64_t roles_doubled = 0;     ///< shrink-to-survive doublings
   std::uint64_t roles_undoubled = 0;   ///< doubled roles later relieved
+  // Durable tier (all zero/false unless config.tier is enabled).
+  bool drained = false;                ///< --halt-after drain completed
+  std::uint64_t l2_flushes = 0;        ///< images published to L2
+  std::uint64_t l2_flush_bytes = 0;    ///< encoded bytes of those images
+  std::uint64_t l2_fetches = 0;        ///< images read back from L2
+  std::uint64_t l2_fetch_waves = 0;    ///< whole-job restores served from L2
+  std::uint64_t l2_scavenges = 0;      ///< urgent drain flushes published
+  std::uint64_t l2_newest_durable = 0; ///< newest fully-flushed epoch
 };
 
 class AcrRuntime {
@@ -125,6 +133,9 @@ class AcrRuntime {
   /// Agent living on (replica, node_index) — for tests and stats.
   NodeAgent& agent_at(int replica, int node_index);
 
+  /// The simulated durable tier, or nullptr when disabled — for tests.
+  ckpt::DurableTier* tier() { return tier_.get(); }
+
   std::uint64_t sdc_injected() const { return sdc_injected_; }
   std::uint64_t warnings_issued() const { return warnings_issued_; }
 
@@ -141,6 +152,7 @@ class AcrRuntime {
   AcrConfig acr_config_;
   rt::Engine engine_;
   std::unique_ptr<rt::Cluster> cluster_;
+  std::unique_ptr<ckpt::DurableTier> tier_;
   std::unique_ptr<Manager> manager_;
   FaultPlan fault_plan_;
   PredictorConfig predictor_;

@@ -22,6 +22,8 @@ enum Tag : int {
   kSendCandidateToBuddy,     ///< medium/weak recovery: ship fresh ckpt
   kResume,                   ///< plain resume (after recovery bookkeeping)
   kXorRebuildSend,           ///< xor recovery: survivor, feed the spare
+  kFlushCommand,             ///< durable tier: drain your verified image to L2
+  kFetchFromDurable,         ///< durable tier: restore from the L2 epoch
 
   // Agent -> agent.
   kTreeProgress = 200,  ///< max-progress reduction up the tree
@@ -43,6 +45,8 @@ enum Tag : int {
   kRestoreDone,            ///< node restored + resumed
   kNeedBuddyRestore,       ///< rollback ordered but no local checkpoint held
   kXorRebuildImpossible,   ///< xor rebuild cannot complete; scratch needed
+  kFlushDone,              ///< node's verified image is published on L2
+  kFetchFailed,            ///< L2 blob missing/corrupt; fetch wave must fall back
 };
 
 /// Reduction / broadcast payloads. All pup-able.
@@ -151,6 +155,30 @@ struct XorRebuildCmd {
   void pup(pup::Puper& p) {
     p | dead_index;
     p | barrier;
+  }
+};
+
+/// Order to drain the verified image of `epoch` to the durable tier.
+/// `urgent` marks drain/scavenge flushes (--halt-after, burst scavenge):
+/// the completion is counted as a scavenge rather than a background flush.
+struct FlushCmdMsg {
+  std::uint64_t epoch = 0;
+  std::uint8_t urgent = 0;
+  void pup(pup::Puper& p) {
+    p | epoch;
+    p | urgent;
+  }
+};
+
+/// Flush completion report. `scavenged` echoes the command's urgency when
+/// the final chunk actually published an image (vs. an already-present
+/// blob answered from the tier's index).
+struct FlushDoneMsg {
+  std::uint64_t epoch = 0;
+  std::uint8_t scavenged = 0;
+  void pup(pup::Puper& p) {
+    p | epoch;
+    p | scavenged;
   }
 };
 

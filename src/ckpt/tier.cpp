@@ -1,0 +1,67 @@
+#include "ckpt/tier.h"
+
+#include <set>
+
+#include "common/require.h"
+
+namespace acr::ckpt {
+
+void DurableTier::publish(int replica, int index, const StoredImage& img) {
+  ACR_REQUIRE(replica >= 0 && replica < replicas_, "tier publish: bad replica");
+  ACR_REQUIRE(index >= 0 && index < roles_, "tier publish: bad node index");
+  std::vector<std::byte> blob = encode_stored_image(img);
+  bytes_published_ += blob.size();
+  ++publishes_;
+  blobs_[Key{replica, index, img.epoch}] = std::move(blob);
+}
+
+bool DurableTier::has(int replica, int index, std::uint64_t epoch) const {
+  return blobs_.count(Key{replica, index, epoch}) != 0;
+}
+
+std::optional<StoredImage> DurableTier::fetch(int replica, int index,
+                                              std::uint64_t epoch) {
+  auto it = blobs_.find(Key{replica, index, epoch});
+  if (it == blobs_.end()) return std::nullopt;
+  ++fetches_;
+  return decode_stored_image(it->second);
+}
+
+std::uint64_t DurableTier::blob_bytes(int replica, int index,
+                                      std::uint64_t epoch) const {
+  auto it = blobs_.find(Key{replica, index, epoch});
+  return it == blobs_.end() ? 0 : it->second.size();
+}
+
+std::uint64_t DurableTier::newest_complete_epoch() const {
+  // Keys are ordered by epoch first, so walk runs of equal epoch and count.
+  std::uint64_t best = 0;
+  auto it = blobs_.begin();
+  const std::size_t need =
+      static_cast<std::size_t>(replicas_) * static_cast<std::size_t>(roles_);
+  while (it != blobs_.end()) {
+    std::uint64_t epoch = it->first.epoch;
+    std::size_t count = 0;
+    while (it != blobs_.end() && it->first.epoch == epoch) {
+      ++count;
+      ++it;
+    }
+    if (count >= need && epoch > best) best = epoch;
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> DurableTier::epochs_present() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [key, blob] : blobs_)
+    if (out.empty() || out.back() != key.epoch) out.push_back(key.epoch);
+  return out;
+}
+
+void DurableTier::prune(std::uint64_t keep_from_epoch) {
+  auto it = blobs_.begin();
+  while (it != blobs_.end() && it->first.epoch < keep_from_epoch)
+    it = blobs_.erase(it);
+}
+
+}  // namespace acr::ckpt

@@ -1,0 +1,109 @@
+// Simulated L2 durable tier (burst buffer / parallel FS) behind the
+// in-memory L1 redundancy schemes.
+//
+// The paper's ACR deliberately keeps checkpoints in replica memory (§1:
+// disk cost "may be prohibitive"), but correlated bursts can destroy every
+// in-memory copy of an epoch — buddy-pair loss, two nodes of an XOR group,
+// an exhausted spare pool — and then the only options are restarting from
+// scratch or restoring from a slower durable level (the SCR / CRAFT
+// multi-level story). DurableTier models that level: a store of
+// vault-format blobs (encode_stored_image — header + payload + Fletcher-64
+// trailer, so an L2 blob IS a CheckpointVault file image) keyed by
+// (replica, node index, epoch). The tier itself is passive and costless;
+// the TIME of every write/read is charged separately through the cluster's
+// net::L2ChannelModel, and the protocol around it (async flush chunking,
+// fetch waves, scavenge on drain) lives in acr::Manager / acr::NodeAgent.
+//
+// Atomicity contract: a node's image appears here only via publish(),
+// which the flush state machine calls once, after the LAST chunk's I/O
+// completes. A node that dies mid-flush has published nothing — there is
+// no half-written L2 image to fetch, matching the vault's temp-file+rename
+// discipline on real disks. An *epoch* is fetchable only when every role
+// published (newest_complete_epoch), the multi-file analogue.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ckpt/vault.h"
+
+namespace acr::ckpt {
+
+/// Configuration for the durable tier. `bandwidth == 0` disables the tier
+/// entirely — every tier code path in the protocol is gated on enabled(),
+/// which is what keeps no-L2 runs byte-identical to the single-tier build.
+struct TierConfig {
+  /// Per-node drain bandwidth to L2 in bytes/second. 0 = tier disabled.
+  double bandwidth = 0.0;
+  /// Per-operation latency (seconds) charged before each chunk/fetch.
+  double latency = 1e-4;
+  /// Flush I/O is issued in chunks of this size so it trickles underneath
+  /// protocol traffic instead of occupying the channel in one long burst.
+  std::uint64_t chunk_bytes = 256 * 1024;
+  /// Flush every k-th committed epoch (1 = every epoch). Larger values
+  /// trade flush traffic for a longer rollback on L2 fetch.
+  std::uint64_t flush_interval = 1;
+
+  bool enabled() const { return bandwidth > 0.0; }
+};
+
+/// In-memory model of the durable store's contents plus lifetime counters.
+class DurableTier {
+ public:
+  struct Key {
+    int replica = 0;
+    int index = 0;
+    std::uint64_t epoch = 0;
+    bool operator<(const Key& o) const {
+      if (epoch != o.epoch) return epoch < o.epoch;
+      if (replica != o.replica) return replica < o.replica;
+      return index < o.index;
+    }
+  };
+
+  /// `roles_per_replica * replicas` publishes make an epoch complete.
+  DurableTier(int replicas, int roles_per_replica)
+      : replicas_(replicas), roles_(roles_per_replica) {}
+
+  /// Install a node's image for an epoch (called once per flush, after the
+  /// final chunk's modeled I/O completes). Re-publishing the same key (a
+  /// restored node re-flushing its adopted image) is idempotent.
+  void publish(int replica, int index, const StoredImage& img);
+
+  bool has(int replica, int index, std::uint64_t epoch) const;
+
+  /// Decode (and integrity-check) a node's image for an epoch.
+  std::optional<StoredImage> fetch(int replica, int index,
+                                   std::uint64_t epoch);
+
+  /// Encoded size of the blob at a key, or 0 if absent.
+  std::uint64_t blob_bytes(int replica, int index, std::uint64_t epoch) const;
+
+  /// Newest epoch for which EVERY role of EVERY replica has published —
+  /// the only epochs a fetch wave may target. 0 = none.
+  std::uint64_t newest_complete_epoch() const;
+
+  /// Epochs with at least one blob present, ascending.
+  std::vector<std::uint64_t> epochs_present() const;
+
+  /// Drop blobs of epochs older than `keep_from_epoch` (keeps the boundary
+  /// epoch itself, mirroring CheckpointVault::prune).
+  void prune(std::uint64_t keep_from_epoch);
+
+  // --- lifetime counters (RunSummary / tests) -------------------------------
+  std::uint64_t publishes() const { return publishes_; }
+  std::uint64_t fetches() const { return fetches_; }
+  std::uint64_t bytes_published() const { return bytes_published_; }
+
+ private:
+  int replicas_;
+  int roles_;
+  std::map<Key, std::vector<std::byte>> blobs_;
+  std::uint64_t publishes_ = 0;
+  std::uint64_t fetches_ = 0;
+  std::uint64_t bytes_published_ = 0;
+};
+
+}  // namespace acr::ckpt

@@ -25,18 +25,11 @@ struct Header {
 
 }  // namespace
 
-CheckpointVault::CheckpointVault(std::filesystem::path directory,
-                                 std::string prefix)
-    : directory_(std::move(directory)), prefix_(std::move(prefix)) {
-  ACR_REQUIRE(!prefix_.empty(), "vault prefix must be non-empty");
-  std::filesystem::create_directories(directory_);
+std::size_t encoded_image_bytes(std::size_t payload_bytes) {
+  return sizeof(Header) + payload_bytes + sizeof(std::uint64_t);
 }
 
-std::filesystem::path CheckpointVault::path_for(std::uint64_t epoch) const {
-  return directory_ / (prefix_ + ".e" + std::to_string(epoch) + ".ckpt");
-}
-
-std::filesystem::path CheckpointVault::store(const StoredImage& ckpt) const {
+std::vector<std::byte> encode_stored_image(const StoredImage& ckpt) {
   Header h{kMagic, kVersion, ckpt.epoch, ckpt.iteration,
            static_cast<std::uint64_t>(ckpt.image.size())};
 
@@ -46,16 +39,82 @@ std::filesystem::path CheckpointVault::store(const StoredImage& ckpt) const {
   digest.append(ckpt.image.bytes());
   std::uint64_t trailer = digest.digest();
 
+  std::vector<std::byte> blob(encoded_image_bytes(ckpt.image.size()));
+  std::byte* cursor = blob.data();
+  std::memcpy(cursor, &h, sizeof h);
+  cursor += sizeof h;
+  std::memcpy(cursor, ckpt.image.bytes().data(), ckpt.image.size());
+  cursor += ckpt.image.size();
+  std::memcpy(cursor, &trailer, sizeof trailer);
+  return blob;
+}
+
+StoredImage decode_stored_image(std::span<const std::byte> blob) {
+  Header h{};
+  if (blob.size() < sizeof h)
+    throw pup::StreamError("stored checkpoint image is truncated");
+  std::memcpy(&h, blob.data(), sizeof h);
+  if (h.magic != kMagic)
+    throw pup::StreamError("stored checkpoint image has a bad header");
+  if (h.version != kVersion)
+    throw pup::StreamError("stored checkpoint image has unsupported version " +
+                           std::to_string(h.version));
+  if (blob.size() <
+      sizeof h + h.payload_bytes + sizeof(std::uint64_t))
+    throw pup::StreamError("stored checkpoint image is truncated");
+
+  std::vector<std::byte> payload(static_cast<std::size_t>(h.payload_bytes));
+  std::memcpy(payload.data(), blob.data() + sizeof h, payload.size());
+  std::uint64_t trailer = 0;
+  std::memcpy(&trailer, blob.data() + sizeof h + payload.size(),
+              sizeof trailer);
+
+  checksum::Fletcher64 digest;
+  digest.append(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(&h), sizeof h));
+  digest.append(payload);
+  if (digest.digest() != trailer)
+    throw pup::StreamError(
+        "stored checkpoint image failed its integrity check");
+
+  StoredImage out;
+  out.epoch = h.epoch;
+  out.iteration = h.iteration;
+  out.image = pup::Checkpoint(std::move(payload));
+  out.image.epoch = h.epoch;
+  return out;
+}
+
+CheckpointVault::CheckpointVault(std::filesystem::path directory,
+                                 std::string prefix)
+    : directory_(std::move(directory)), prefix_(std::move(prefix)) {
+  ACR_REQUIRE(!prefix_.empty(), "vault prefix must be non-empty");
+  std::filesystem::create_directories(directory_);
+  // An interrupted store() can strand a "<prefix>.*.tmp" next to the real
+  // files; it can never be completed, so clear it now.
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind(prefix_ + ".", 0) == 0 && name.size() > 4 &&
+        name.substr(name.size() - 4) == ".tmp")
+      std::filesystem::remove(entry.path());
+  }
+}
+
+std::filesystem::path CheckpointVault::path_for(std::uint64_t epoch) const {
+  return directory_ / (prefix_ + ".e" + std::to_string(epoch) + ".ckpt");
+}
+
+std::filesystem::path CheckpointVault::store(const StoredImage& ckpt) const {
+  std::vector<std::byte> blob = encode_stored_image(ckpt);
+
   std::filesystem::path final_path = path_for(ckpt.epoch);
   std::filesystem::path tmp_path = final_path;
   tmp_path += ".tmp";
   {
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
     ACR_REQUIRE(out.good(), "cannot open checkpoint file for writing");
-    out.write(reinterpret_cast<const char*>(&h), sizeof h);
-    out.write(reinterpret_cast<const char*>(ckpt.image.bytes().data()),
-              static_cast<std::streamsize>(ckpt.image.size()));
-    out.write(reinterpret_cast<const char*>(&trailer), sizeof trailer);
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
     ACR_REQUIRE(out.good(), "checkpoint write failed");
   }
   std::filesystem::rename(tmp_path, final_path);
@@ -67,37 +126,20 @@ std::optional<StoredImage> CheckpointVault::load(std::uint64_t epoch) const {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) return std::nullopt;
 
-  Header h{};
-  in.read(reinterpret_cast<char*>(&h), sizeof h);
-  if (!in.good() || h.magic != kMagic)
+  in.seekg(0, std::ios::end);
+  std::vector<std::byte> blob(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0, std::ios::beg);
+  in.read(reinterpret_cast<char*>(blob.data()),
+          static_cast<std::streamsize>(blob.size()));
+  if (!in.good() && !blob.empty())
     throw pup::StreamError("checkpoint file " + path.string() +
-                      " has a bad header");
-  if (h.version != kVersion)
-    throw pup::StreamError("checkpoint file " + path.string() +
-                      " has unsupported version " + std::to_string(h.version));
-
-  std::vector<std::byte> payload(static_cast<std::size_t>(h.payload_bytes));
-  in.read(reinterpret_cast<char*>(payload.data()),
-          static_cast<std::streamsize>(payload.size()));
-  std::uint64_t trailer = 0;
-  in.read(reinterpret_cast<char*>(&trailer), sizeof trailer);
-  if (!in.good())
-    throw pup::StreamError("checkpoint file " + path.string() + " is truncated");
-
-  checksum::Fletcher64 digest;
-  digest.append(std::span<const std::byte>(
-      reinterpret_cast<const std::byte*>(&h), sizeof h));
-  digest.append(payload);
-  if (digest.digest() != trailer)
-    throw pup::StreamError("checkpoint file " + path.string() +
-                      " failed its integrity check (on-disk corruption)");
-
-  StoredImage out;
-  out.epoch = h.epoch;
-  out.iteration = h.iteration;
-  out.image = pup::Checkpoint(std::move(payload));
-  out.image.epoch = h.epoch;
-  return out;
+                           ": short read");
+  try {
+    return decode_stored_image(blob);
+  } catch (const pup::StreamError& e) {
+    throw pup::StreamError("checkpoint file " + path.string() + ": " +
+                           e.what());
+  }
 }
 
 std::vector<std::uint64_t> CheckpointVault::epochs_on_disk() const {

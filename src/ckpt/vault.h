@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,10 +33,24 @@ struct StoredImage {
   pup::Checkpoint image;
 };
 
+/// Serialize a checkpoint into the vault's self-validating byte format
+/// (header + payload + Fletcher-64 trailer). The same encoding is used for
+/// on-disk files (CheckpointVault) and for the simulated durable tier's
+/// in-memory blobs (tier.h), so a tier blob IS a vault file image.
+std::vector<std::byte> encode_stored_image(const StoredImage& ckpt);
+
+/// Inverse of encode_stored_image. Throws pup::StreamError on a bad magic,
+/// truncation, or trailer-digest mismatch.
+StoredImage decode_stored_image(std::span<const std::byte> blob);
+
+/// Bytes encode_stored_image would produce for an image of `payload_bytes`.
+std::size_t encoded_image_bytes(std::size_t payload_bytes);
+
 class CheckpointVault {
  public:
   /// Files are placed under `directory` (created if absent) as
-  /// "<prefix>.e<epoch>.ckpt".
+  /// "<prefix>.e<epoch>.ckpt". Stale "*.tmp" leftovers of interrupted
+  /// writes under this prefix are removed — they can never be completed.
   CheckpointVault(std::filesystem::path directory, std::string prefix);
 
   /// Write (atomically: temp file + rename). Returns the final path.

@@ -37,12 +37,17 @@ void AdaptiveIntervalController::on_failure(double t) {
   estimator_.record_failure(t);
 }
 
+void AdaptiveIntervalController::set_flush_overhead(double seconds) {
+  ACR_REQUIRE(seconds >= 0.0, "flush overhead must be >= 0");
+  flush_overhead_ = seconds;
+}
+
 double AdaptiveIntervalController::next_interval(double now) const {
   std::optional<double> m = estimator_.mtbf(now);
   if (!m) return config_.max_interval;
-  double tau = config_.use_daly
-                   ? daly_interval(config_.checkpoint_cost, *m)
-                   : young_interval(config_.checkpoint_cost, *m);
+  double delta = config_.checkpoint_cost + flush_overhead_;
+  double tau = config_.use_daly ? daly_interval(delta, *m)
+                                : young_interval(delta, *m);
   return std::clamp(tau, config_.min_interval, config_.max_interval);
 }
 

@@ -37,6 +37,13 @@ class AdaptiveIntervalController {
   /// Feed an observed failure at absolute time `t`.
   void on_failure(double t);
 
+  /// Amortized durable-tier flush cost per checkpoint period (seconds).
+  /// Added to the configured checkpoint cost when deriving the Young/Daly
+  /// delta, so a flush-heavy tier stretches the optimal interval. 0 (the
+  /// default) reproduces the single-tier controller exactly.
+  void set_flush_overhead(double seconds);
+  double flush_overhead() const { return flush_overhead_; }
+
   /// Interval to use for the next checkpoint, given the current time.
   /// Before any failure (and with no prior) returns max_interval.
   double next_interval(double now) const;
@@ -55,6 +62,7 @@ class AdaptiveIntervalController {
  private:
   AdaptiveIntervalConfig config_;
   MtbfEstimator estimator_;
+  double flush_overhead_ = 0.0;
 };
 
 }  // namespace acr::failure

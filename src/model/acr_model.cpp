@@ -183,6 +183,62 @@ SchemeEvaluation AcrModel::evaluate_at(Scheme scheme, double tau) const {
 }
 
 // ---------------------------------------------------------------------------
+// Durable-tier extension.
+// ---------------------------------------------------------------------------
+
+double AcrModel::total_time_tiered(Scheme scheme, double tau,
+                                   const TierParams& tier) const {
+  double t1 = total_time(scheme, tau);
+  if (std::isinf(t1) || tier.catastrophic_mtbf <= 0.0) return t1;
+  ACR_REQUIRE(tier.flush_interval >= 1, "flush interval must be >= 1");
+  // Catastrophic events arrive Poisson at rate 1/MC. Each one rolls the
+  // job back to the newest fully-flushed epoch: that epoch trails the
+  // verified one by up to flush_interval periods, so on average half that
+  // window of progress is redone, plus the fetch itself. Both costs scale
+  // with T (more runtime, more events), giving the usual linear form.
+  double lag = static_cast<double>(tier.flush_interval) *
+               (tau + params_.checkpoint_cost);
+  double per_event = tier.fetch_cost + lag / 2.0;
+  double frac = per_event / tier.catastrophic_mtbf;
+  if (frac >= 1.0) return kInf;
+  return t1 / (1.0 - frac);
+}
+
+double AcrModel::total_time_scratch(Scheme scheme, double tau,
+                                    const TierParams& tier) const {
+  double t1 = total_time(scheme, tau);
+  if (std::isinf(t1) || tier.catastrophic_mtbf <= 0.0) return t1;
+  // Restart-from-zero under memoryless catastrophes: all progress since
+  // job start is lost each time, E[T] = M (e^{T1/M} - 1).
+  double mc = tier.catastrophic_mtbf;
+  double ratio = t1 / mc;
+  if (ratio > 700.0) return kInf;  // exp overflow: effectively never ends
+  return mc * std::expm1(ratio);
+}
+
+TieredEvaluation AcrModel::evaluate_tiered(Scheme scheme,
+                                           const TierParams& tier,
+                                           double tau) const {
+  TieredEvaluation e;
+  e.base = evaluate_at(scheme, tau);
+  e.flush_lag = static_cast<double>(tier.flush_interval) *
+                (tau + params_.checkpoint_cost);
+  e.total_time = total_time_tiered(scheme, tau, tier);
+  e.total_time_scratch = total_time_scratch(scheme, tau, tier);
+  if (!std::isinf(e.total_time))
+    e.rework_catastrophic = e.total_time - e.base.total_time;
+  if (!std::isinf(e.total_time) && e.total_time > 0.0 &&
+      !std::isinf(e.total_time_scratch))
+    e.speedup = e.total_time_scratch / e.total_time;
+  return e;
+}
+
+TieredEvaluation AcrModel::evaluate_tiered(Scheme scheme,
+                                           const TierParams& tier) const {
+  return evaluate_tiered(scheme, tier, optimal_tau(scheme));
+}
+
+// ---------------------------------------------------------------------------
 // Fig. 1 baselines.
 // ---------------------------------------------------------------------------
 

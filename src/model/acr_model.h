@@ -40,6 +40,33 @@ struct SchemeEvaluation {
   double rework_sdc = 0.0;
 };
 
+// ---------------------------------------------------------------------------
+// Durable-tier (L2) extension: L1 handles ordinary failures exactly as the
+// single-tier model; *catastrophic* failures (buddy-pair loss, parity-group
+// double loss, spare-pool exhaustion) defeat L1 and either restart the job
+// from scratch or — with the tier — fetch the newest fully-flushed epoch.
+// ---------------------------------------------------------------------------
+
+struct TierParams {
+  /// Every Nth committed epoch is flushed to L2, so the newest durable
+  /// epoch trails the newest verified one by up to N periods.
+  std::uint64_t flush_interval = 1;
+  /// Seconds to restore the whole job from L2 (read + redistribute).
+  double fetch_cost = 0.0;
+  /// MTBF of L1-defeating (catastrophic) failures, seconds. 0 = none, and
+  /// the tiered evaluation degenerates to the single-tier one.
+  double catastrophic_mtbf = 0.0;
+};
+
+struct TieredEvaluation {
+  SchemeEvaluation base;             ///< single-tier evaluation at same tau
+  double flush_lag = 0.0;            ///< durable-epoch staleness bound, s
+  double rework_catastrophic = 0.0;  ///< total catastrophic rework, seconds
+  double total_time = 0.0;           ///< T with the tier, seconds
+  double total_time_scratch = 0.0;   ///< T if catastrophes restart from zero
+  double speedup = 0.0;              ///< total_time_scratch / total_time
+};
+
 class AcrModel {
  public:
   explicit AcrModel(const SystemParams& params);
@@ -66,6 +93,24 @@ class AcrModel {
   SchemeEvaluation evaluate(Scheme scheme) const;
   /// Full evaluation at a caller-chosen period.
   SchemeEvaluation evaluate_at(Scheme scheme, double tau) const;
+
+  /// T with catastrophic failures served by L2 fetches: each event costs
+  /// fetch_cost plus half the flush window of lost progress, linear in T.
+  double total_time_tiered(Scheme scheme, double tau,
+                           const TierParams& tier) const;
+
+  /// T with the same catastrophic failures served by scratch restarts:
+  /// the classic memoryless restart-from-zero expectation
+  /// E[T] = M (e^{T1/M} - 1) applied on top of the single-tier time.
+  double total_time_scratch(Scheme scheme, double tau,
+                            const TierParams& tier) const;
+
+  /// Tiered evaluation at a caller-chosen period (see TieredEvaluation).
+  TieredEvaluation evaluate_tiered(Scheme scheme, const TierParams& tier,
+                                   double tau) const;
+  /// Tiered evaluation at the single-tier optimal period.
+  TieredEvaluation evaluate_tiered(Scheme scheme,
+                                   const TierParams& tier) const;
 
  private:
   SystemParams params_;

@@ -40,6 +40,51 @@ struct NetworkParams {
   double beta() const { return 1.0 / link_bandwidth; }
 };
 
+/// Cost parameters of the simulated L2 durable channel (burst buffer /
+/// parallel FS ingest pipe). Each node drains through its own pipe, so the
+/// model queues per node rather than per torus link.
+struct L2Params {
+  /// Per-node L2 bandwidth, bytes/second. 0 disables the durable tier.
+  double bandwidth = 0.0;
+  /// Per-operation setup latency, seconds.
+  double latency = 1e-4;
+};
+
+/// Per-node busy-until queue for L2 I/O: an operation issued at `now`
+/// completes at max(now, busy_until[node]) + latency + bytes/bandwidth.
+/// Purely arithmetic — the caller (rt::Cluster) turns the returned delay
+/// into a DES event, which keeps flush scheduling deterministic at any
+/// kernel-thread count.
+class L2ChannelModel {
+ public:
+  struct Stats {
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    double bytes_written = 0.0;
+    double bytes_read = 0.0;
+    /// Aggregate time operations spent waiting behind earlier I/O on the
+    /// same node's pipe (queueing delay, not service time).
+    double queue_wait = 0.0;
+  };
+
+  explicit L2ChannelModel(L2Params params) : params_(params) {}
+
+  /// Seconds from `now` until a write of `bytes` issued by `node` finishes.
+  double write(int node, double now, double bytes);
+  /// Same for a read (fetch path). Reads share the node's pipe with writes.
+  double read(int node, double now, double bytes);
+
+  const Stats& stats() const { return stats_; }
+  const L2Params& params() const { return params_; }
+
+ private:
+  double charge(int node, double now, double bytes);
+
+  L2Params params_;
+  std::vector<double> busy_until_;
+  Stats stats_;
+};
+
 class LinkLoadModel {
  public:
   explicit LinkLoadModel(const topo::Torus3D& torus);

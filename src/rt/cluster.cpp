@@ -29,6 +29,14 @@ const char* trace_kind_name(TraceKind k) {
     case TraceKind::SparePoolLow: return "spare-pool-low";
     case TraceKind::RoleDoubled: return "role-doubled";
     case TraceKind::RoleUndoubled: return "role-undoubled";
+    case TraceKind::FlushStarted: return "flush-started";
+    case TraceKind::FlushCompleted: return "flush-completed";
+    case TraceKind::FlushSuperseded: return "flush-superseded";
+    case TraceKind::EpochDurable: return "epoch-durable";
+    case TraceKind::FetchStarted: return "fetch-started";
+    case TraceKind::FetchCompleted: return "fetch-completed";
+    case TraceKind::DrainRequested: return "drain-requested";
+    case TraceKind::DrainCompleted: return "drain-completed";
   }
   return "?";
 }
@@ -55,6 +63,7 @@ Cluster::Cluster(Engine& engine, const ClusterConfig& config)
     : engine_(engine),
       config_(config),
       ckpt_groups_(config.nodes_per_replica, config.ckpt_group_size),
+      l2_channel_(config.l2),
       jitter_rng_(config.seed, 77),
       net_injector_(config.net_faults, config.seed ^ 0x9E7FA017C0FFEE11ULL),
       transport_(config.reliable, make_transport_hooks()) {
@@ -168,9 +177,17 @@ void Cluster::note_pool_level() {
   int level = static_cast<int>(spare_pool_.size());
   if (level >= spare_counters_.low_water) return;
   spare_counters_.low_water = level;
-  if (spare_trace_)
+  if (trace_enabled(kTraceSpareLifecycle))
     trace_.record(engine_.now(), TraceKind::SparePoolLow, -1, -1,
                   "remaining=" + std::to_string(level));
+}
+
+double Cluster::l2_write(int pid, double bytes) {
+  return l2_channel_.write(pid, engine_.now(), bytes);
+}
+
+double Cluster::l2_read(int pid, double bytes) {
+  return l2_channel_.read(pid, engine_.now(), bytes);
 }
 
 double Cluster::app_latency(std::size_t bytes, Pcg32& jitter_rng) {

@@ -50,9 +50,28 @@ enum class TraceKind {
   SparePoolLow,         ///< pool reached a new minimum (lifecycle tracing)
   RoleDoubled,          ///< shrink-to-survive: role remapped onto a survivor
   RoleUndoubled,        ///< a repaired spare relieved a doubled role
+  FlushStarted,         ///< L2 tier: a node began draining a verified epoch
+  FlushCompleted,       ///< L2 tier: a node's image became durable
+  FlushSuperseded,      ///< L2 tier: a newer commit cancelled an active flush
+  EpochDurable,         ///< L2 tier: every role of an epoch is durable
+  FetchStarted,         ///< L2 tier: fetch wave targeting a durable epoch
+  FetchCompleted,       ///< L2 tier: a node restored from its durable image
+  DrainRequested,       ///< halt control: flush-newest-and-stop requested
+  DrainCompleted,       ///< halt control: newest epoch durable, job halted
 };
 
 const char* trace_kind_name(TraceKind k);
+
+/// Bitset selecting which OPTIONAL trace families are recorded. Core
+/// protocol events (checkpoints, failures, recoveries) are always traced;
+/// these bits gate the chatty per-feature kinds so that runs without a
+/// feature keep a byte-identical trace (the PR 3/5 discipline). This
+/// replaces the per-feature enable_*_trace booleans — new features take a
+/// bit, not another setter.
+enum TraceMask : std::uint32_t {
+  kTraceSpareLifecycle = 1u << 0,  ///< SparePoolLow pool-minimum events
+  kTraceTier = 1u << 1,            ///< L2 flush/fetch/drain events
+};
 
 struct TraceEvent {
   double time = 0.0;
@@ -109,6 +128,10 @@ struct ClusterConfig {
   /// exchange and rebuild routing. <= 0 disables grouping (local/partner
   /// schemes need none).
   int ckpt_group_size = 0;
+
+  /// Simulated L2 durable-tier channel (per-node burst-buffer pipe).
+  /// bandwidth == 0 leaves the tier's cost model unused.
+  net::L2Params l2;
 
   std::uint64_t seed = 0xAC0FF00DULL;
 };
@@ -246,9 +269,27 @@ class Cluster {
     std::uint64_t roles_undoubled = 0; ///< doubled roles relieved by spares
   };
   const SpareCounters& spare_counters() const { return spare_counters_; }
-  /// Emit SparePoolLow trace events on new pool minima. Off by default so
-  /// runs without the burst/repair lifecycle keep a byte-identical trace.
-  void enable_spare_lifecycle_trace() { spare_trace_ = true; }
+
+  // --- optional trace families --------------------------------------------------
+  /// Turn on the trace families selected by `mask` (TraceMask bits OR-ed).
+  /// All are off by default so runs without a feature keep a byte-identical
+  /// trace.
+  void enable_trace(std::uint32_t mask) { trace_mask_ |= mask; }
+  bool trace_enabled(TraceMask bit) const { return (trace_mask_ & bit) != 0; }
+  /// Legacy alias for enable_trace(kTraceSpareLifecycle).
+  void enable_spare_lifecycle_trace() { enable_trace(kTraceSpareLifecycle); }
+
+  // --- L2 durable channel -------------------------------------------------------
+  /// Charge an L2 write/read issued by physical node `pid` at the current
+  /// virtual time; returns the delay until the operation completes (per-node
+  /// busy-until queueing + latency + bytes/bandwidth). Pure arithmetic over
+  /// virtual time — callers schedule the completion as a DES event, so L2
+  /// traffic is deterministic at any kernel-thread count.
+  double l2_write(int pid, double bytes);
+  double l2_read(int pid, double bytes);
+  const net::L2ChannelModel::Stats& l2_stats() const {
+    return l2_channel_.stats();
+  }
 
   // --- manager channel -----------------------------------------------------------
   // The job-level ACR manager (failure handling, checkpoint timing) is a
@@ -360,7 +401,8 @@ class Cluster {
   /// Entries persist after a lodger dies; liveness decides relevance.
   std::map<int, int> lodger_host_;
   SpareCounters spare_counters_;
-  bool spare_trace_ = false;
+  std::uint32_t trace_mask_ = 0;
+  net::L2ChannelModel l2_channel_;
   std::vector<int> in_flight_{0, 0};
   std::vector<std::uint64_t> app_epoch_{0, 0};
   Pcg32 jitter_rng_;
