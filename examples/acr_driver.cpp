@@ -33,7 +33,9 @@ int main(int argc, char** argv) {
   std::string scheme = "strong";
   std::string detection = "full";
   std::string ckpt_scheme = "partner";
-  int xor_group_size = 0;  // 0 = unset; defaults to 4 under --ckpt-scheme=xor
+  std::string ckpt_delta = "off";
+  std::string ckpt_compress = "none";
+  int xor_group_size = -1;  // sentinel: unset; defaults to 4 under xor
   int nodes = 8;
   int spares = 4;
   int iterations = 60;
@@ -57,7 +59,7 @@ int main(int argc, char** argv) {
   int net_retry_budget = 10;
   double l2_bandwidth = 0.0;
   double l2_latency = std::nan("");  // sentinel: unset, take TierConfig default
-  int flush_interval = 0;    // sentinel: unset, take the TierConfig default
+  int flush_interval = -1;   // sentinel: unset, take the TierConfig default
   double halt_after = 0.0;
   std::string kernel_impl = "auto";
   int kernel_threads = 0;
@@ -76,6 +78,13 @@ int main(int argc, char** argv) {
   cli.add_choice("ckpt-scheme", &ckpt_scheme, {"local", "partner", "xor"},
                  "checkpoint redundancy: local (in-memory only), partner "
                  "(buddy copy, the paper's §2.1), xor (RAID-5 group parity)");
+  cli.add_choice("ckpt-delta", &ckpt_delta, {"off", "on"},
+                 "incremental checkpoints: ship only 256 KiB chunks whose "
+                 "CRC32C changed since the base epoch (buddy transfer, xor "
+                 "parity exchange, L2 flushes); off = legacy full images");
+  cli.add_choice("ckpt-compress", &ckpt_compress, {"none", "lz"},
+                 "per-chunk deterministic LZ compression of checkpoint "
+                 "traffic (composes with --ckpt-delta)");
   cli.add_int("xor-group-size", &xor_group_size,
               "nodes per xor parity group (>= 2; a trailing remainder of 1 "
               "is merged into the previous group; default 4)");
@@ -207,7 +216,7 @@ int main(int argc, char** argv) {
                    "durable tier is disabled)\n");
       return 2;
     }
-    if (flush_interval != 0) {
+    if (flush_interval != -1) {
       std::fprintf(stderr,
                    "error: --flush-interval requires --l2-bandwidth > 0 (the "
                    "durable tier is disabled)\n");
@@ -224,7 +233,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: --l2-latency=%g must be >= 0\n", l2_latency);
       return 2;
     }
-    if (flush_interval < 0) {
+    if (flush_interval != -1 && flush_interval < 1) {
+      // An explicit 0 used to be swallowed as "unset"; a flush interval of
+      // zero epochs is meaningless, so reject it loudly.
       std::fprintf(stderr, "error: --flush-interval=%d must be >= 1\n",
                    flush_interval);
       return 2;
@@ -240,7 +251,7 @@ int main(int argc, char** argv) {
                             : kernel_impl == "hw" ? checksum::KernelImpl::Hw
                                                   : checksum::KernelImpl::Auto);
   parallel::set_global_threads(kernel_threads);
-  if (xor_group_size != 0 && ckpt_scheme != "xor") {
+  if (xor_group_size != -1 && ckpt_scheme != "xor") {
     std::fprintf(stderr,
                  "error: --xor-group-size only applies to --ckpt-scheme=xor "
                  "(got --ckpt-scheme=%s)\n",
@@ -248,8 +259,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (ckpt_scheme == "xor") {
-    if (xor_group_size == 0) xor_group_size = 4;
+    if (xor_group_size == -1) xor_group_size = 4;
     if (xor_group_size < 2) {
+      // An explicit 0 used to be swallowed as "unset" and silently became
+      // the default; it now fails like every other undersized group.
       std::fprintf(stderr,
                    "error: --xor-group-size=%d must be >= 2 (a one-node "
                    "group has no parity peers)\n",
@@ -284,6 +297,10 @@ int main(int argc, char** argv) {
                   : ckpt_scheme == "xor"   ? ckpt::Scheme::Xor
                                            : ckpt::Scheme::Partner;
   ac.degrade = degrade == "shrink" ? DegradeMode::Shrink : DegradeMode::Abort;
+  ac.codec.delta =
+      ckpt_delta == "on" ? ckpt::DeltaMode::On : ckpt::DeltaMode::Off;
+  ac.codec.compress =
+      ckpt_compress == "lz" ? ckpt::CompressMode::Lz : ckpt::CompressMode::None;
   if (xor_group_size > 0) ac.xor_group_size = xor_group_size;
   ac.tier.bandwidth = l2_bandwidth;
   if (!std::isnan(l2_latency)) ac.tier.latency = l2_latency;
@@ -458,6 +475,30 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(s.parity_bytes_sent),
           static_cast<unsigned long long>(s.xor_rebuilds));
     std::printf("\n");
+  }
+  // Only printed when a codec stage is on: keeps codec-off output
+  // byte-identical to builds that predate the staged pipeline.
+  if (ac.codec.enabled()) {
+    std::printf(
+        "codec: delta=%s compress=%s  frames=%llu full=%llu  "
+        "chunks=%llu/%llu  bytes wire/raw=%llu/%llu  need-full=%llu\n",
+        ckpt::delta_mode_name(ac.codec.delta),
+        ckpt::compress_mode_name(ac.codec.compress),
+        static_cast<unsigned long long>(s.codec_frames),
+        static_cast<unsigned long long>(s.codec_full_frames),
+        static_cast<unsigned long long>(s.codec_chunks_shipped),
+        static_cast<unsigned long long>(s.codec_chunks_total),
+        static_cast<unsigned long long>(s.codec_wire_bytes),
+        static_cast<unsigned long long>(s.codec_raw_bytes),
+        static_cast<unsigned long long>(s.codec_need_full));
+    if (ac.redundancy == ckpt::Scheme::Xor)
+      std::printf("codec xor: delta chunks=%llu bytes=%llu poisoned=%llu\n",
+                  static_cast<unsigned long long>(s.parity_delta_chunks),
+                  static_cast<unsigned long long>(s.parity_delta_bytes),
+                  static_cast<unsigned long long>(s.parity_rounds_poisoned));
+    if (ac.tier.enabled())
+      std::printf("codec l2: delta blobs=%llu\n",
+                  static_cast<unsigned long long>(s.l2_delta_blobs));
   }
 
   TraceSummary ts = summarize_trace(runtime.trace());

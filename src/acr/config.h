@@ -99,6 +99,12 @@ struct AcrConfig {
   /// new checkpoints, drains the newest verified epoch to L2, and the run
   /// ends with RunSummary::drained set. 0 = never. Requires the tier.
   double halt_after = 0.0;
+
+  /// Checkpoint codec pipeline (ckpt/codec.h): incremental (dirty-chunk)
+  /// delta shipping and/or per-chunk LZ compression of the buddy transfer,
+  /// XOR parity exchange, and L2 flushes. Both stages default OFF, which
+  /// keeps every data-plane byte identical to the pre-codec protocol.
+  ckpt::CodecConfig codec;
 };
 
 /// Check redundancy-scheme coherence: returns nullptr when valid, else a

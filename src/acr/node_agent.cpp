@@ -47,6 +47,14 @@ void NodeAgent::make_scheme() {
                       rt::pack_payload(m), /*bytes_on_wire=*/-1.0,
                       std::move(chunk));
       };
+      hooks.send_delta_chunk = [this](int dst,
+                                      const ckpt::XorDeltaChunkMsg& msg,
+                                      buf::Buffer payload) {
+        ckpt::XorDeltaChunkMsg m = msg;
+        send_to_agent(replica_, dst, wire::kXorParityDeltaChunk,
+                      rt::pack_payload(m), /*bytes_on_wire=*/-1.0,
+                      std::move(payload));
+      };
       hooks.send_piece = [this](int dst, const ckpt::XorPieceMsg& msg,
                                 buf::Buffer image) {
         ckpt::XorPieceMsg m = msg;
@@ -117,6 +125,7 @@ void NodeAgent::rebind_role() {
   index_ = node_.node_index();
   num_children_ = static_cast<int>(child_indices().size());
   make_scheme();  // the xor layout keys chunk routing off the node index
+  invalidate_codec_bases();  // bases belong to the role, not the hardware
 }
 
 void NodeAgent::reset_for_restart() {
@@ -129,6 +138,7 @@ void NodeAgent::reset_for_restart() {
   node_.set_gated(false);
   store_.reset();
   scheme_->reset();
+  invalidate_codec_bases();
   pack_complete_ = false;
   have_remote_ = false;
   local_verdict_done_ = false;
@@ -296,6 +306,16 @@ void NodeAgent::on_service_message(const rt::Message& m) {
       return handle_buddy_checkpoint(m);
     case wire::kBuddyChecksum:
       return handle_buddy_checksum(m);
+    case wire::kBuddyDeltaCheckpoint:
+      return handle_buddy_delta_checkpoint(m);
+    case wire::kBuddyNeedFull:
+      return handle_buddy_need_full(rt::unpack_payload<wire::NeedFullMsg>(m));
+    case wire::kXorParityDeltaChunk: {
+      auto msg = rt::unpack_payload<ckpt::XorDeltaChunkMsg>(m);
+      if (ckpt::XorScheme* x = xor_scheme())
+        x->on_delta_chunk(m.src.node_index, msg, m.attachment);
+      return;
+    }
     case wire::kXorParityChunk: {
       auto msg = rt::unpack_payload<ckpt::XorChunkMsg>(m);
       if (ckpt::XorScheme* x = xor_scheme())
@@ -473,6 +493,12 @@ void NodeAgent::pack_candidate() {
     local_digest_ = stream_digest ? digest.digest()
                                   : checksum::fletcher64_chunked(image.bytes());
   double bytes = static_cast<double>(image.size());
+  // Codec delta stage: the candidate's per-chunk digests, compared against
+  // the base epoch's to find dirty chunks. Computed chunk-parallel on the
+  // cache-warm image; the grid depends only on the image size, so the
+  // digests (and everything downstream) are thread-count invariant.
+  if (codec_on() && env_.config->codec.delta_on())
+    cand_digests_ = ckpt::CodecPipeline::digests(image.bytes());
   store_.stage_candidate(epoch_, decided_iteration_, std::move(image));
   ++checkpoints_packed_;
 
@@ -516,7 +542,10 @@ void NodeAgent::after_pack() {
     }
   } else {
     if (replica_ == 0) {
-      send_checkpoint_to_buddy(store_.candidate(), kPurposeCompare);
+      if (codec_on())
+        send_codec_frame_to_buddy();
+      else
+        send_checkpoint_to_buddy(store_.candidate(), kPurposeCompare);
       phase_ = Phase::AwaitVerdict;
       return;
     }
@@ -567,6 +596,122 @@ void NodeAgent::handle_buddy_checkpoint(const rt::Message& m) {
   remote_image_ = m.attachment;
   have_remote_ = true;
   maybe_compare();
+}
+
+// ---------------------------------------------------------------------------
+// Codec pipeline: delta/compressed buddy transfer (--ckpt-delta/--ckpt-compress).
+// ---------------------------------------------------------------------------
+
+void NodeAgent::send_codec_frame_to_buddy() {
+  const ckpt::CodecConfig& codec = env_.config->codec;
+  const ckpt::Image& cand = store_.candidate();
+  std::span<const std::byte> image = cand.image.bytes();
+  // A delta is legal only when the buddy provably holds the base image this
+  // node would diff against: the last epoch it received in full.
+  bool base_ok = codec.delta_on() && codec_base_.epoch != 0 &&
+                 sent_base_epoch_ == codec_base_.epoch &&
+                 codec_base_.image.size() == image.size() &&
+                 !cand_digests_.empty();
+  if (!base_ok && !codec.compress_on()) {
+    // A raw full frame would be the legacy bytes plus a chunk map: the
+    // legacy transfer is strictly better. (First epoch, post-fallback.)
+    send_checkpoint_to_buddy(cand, kPurposeCompare);
+    return;
+  }
+  ckpt::CodecPipeline pipe(codec);
+  ckpt::CodecFrame frame =
+      base_ok ? pipe.encode(cand.image.buffer(), cand_digests_,
+                            &codec_base_.digests, codec_base_.image.size())
+              : pipe.encode_full(cand.image.buffer());
+  wire::DeltaCheckpointMsg msg;
+  msg.epoch = cand.epoch;
+  msg.iteration = cand.iteration;
+  msg.base_epoch = base_ok ? codec_base_.epoch : 0;
+  msg.full_bytes = frame.map.full_bytes;
+  msg.purpose = kPurposeCompare;
+  msg.encoding = frame.encoding;
+  msg.present = frame.map.present;
+  ++codec_stats_.frames;
+  if (frame.map.all_present()) ++codec_stats_.full_frames;
+  codec_stats_.chunks_total += frame.map.chunks();
+  codec_stats_.chunks_shipped += frame.map.present_chunks();
+  codec_stats_.raw_bytes += image.size();
+  codec_stats_.wire_bytes += frame.map.map_bytes() + frame.payload.size();
+  if (env_.cluster->trace_enabled(rt::kTraceCodec))
+    env_.cluster->trace().record(
+        now(), rt::TraceKind::DeltaShipped, replica_, index_,
+        "epoch=" + std::to_string(cand.epoch) + " chunks=" +
+            std::to_string(frame.map.present_chunks()) + "/" +
+            std::to_string(frame.map.chunks()) +
+            " bytes=" + std::to_string(frame.payload.size()));
+  // The chunk map travels in the pup'd payload and the encoded chunks as
+  // the attachment, so bytes_on_wire=-1 charges exactly map + payload —
+  // the whole point of the pipeline.
+  send_to_agent(1 - replica_, index_, wire::kBuddyDeltaCheckpoint,
+                rt::pack_payload(msg), /*bytes_on_wire=*/-1.0,
+                frame.payload);
+}
+
+void NodeAgent::handle_buddy_delta_checkpoint(const rt::Message& m) {
+  auto msg = rt::unpack_payload<wire::DeltaCheckpointMsg>(m);
+  if (msg.epoch != epoch_ || have_remote_) return;
+  ckpt::CodecFrame frame;
+  frame.map.full_bytes = msg.full_bytes;
+  frame.map.present = msg.present;
+  frame.encoding = msg.encoding;
+  frame.payload = m.attachment;
+  bool partial = !frame.map.all_present();
+  bool base_ok = !partial || (msg.base_epoch != 0 &&
+                              buddy_base_.epoch == msg.base_epoch &&
+                              buddy_base_.image.size() == msg.full_bytes);
+  if (base_ok) {
+    try {
+      // Reconstruction is EXACT (raw dirty chunks over the cached base),
+      // so the compare below sees the same bytes a full transfer carries:
+      // SDC detection semantics are untouched by the codec.
+      remote_image_ = ckpt::CodecPipeline::decode(
+          frame, partial ? buddy_base_.image.bytes()
+                         : std::span<const std::byte>{});
+      have_remote_ = true;
+      maybe_compare();
+      return;
+    } catch (const pup::StreamError&) {
+      // Corrupt frame: treat exactly like a lost base and ask for a full.
+    }
+  }
+  buddy_base_ = CodecBase{};  // whatever base we held is not trustworthy
+  if (env_.cluster->trace_enabled(rt::kTraceCodec))
+    env_.cluster->trace().record(
+        now(), rt::TraceKind::DeltaFallback, replica_, index_,
+        "epoch=" + std::to_string(msg.epoch) +
+            " base=" + std::to_string(msg.base_epoch));
+  wire::NeedFullMsg need{0};
+  send_to_agent(1 - replica_, index_, wire::kBuddyNeedFull,
+                rt::pack_payload(need));
+}
+
+void NodeAgent::handle_buddy_need_full(const wire::NeedFullMsg& msg) {
+  (void)msg;
+  sent_base_epoch_ = 0;  // every later epoch ships full until re-established
+  ++codec_stats_.need_full;
+  // The compare round is stalled on the rejected frame: re-ship the same
+  // candidate as a legacy full image (idempotent on the receiver).
+  if (replica_ == 0 && phase_ == Phase::AwaitVerdict &&
+      !single_replica_ckpt_ &&
+      env_.config->detection == SdcDetection::FullCompare &&
+      store_.has_candidate() && store_.candidate().epoch == epoch_)
+    send_checkpoint_to_buddy(store_.candidate(), kPurposeCompare);
+}
+
+void NodeAgent::invalidate_codec_bases() {
+  codec_base_ = CodecBase{};
+  buddy_base_ = CodecBase{};
+  sent_base_epoch_ = 0;
+  cand_digests_.clear();
+  l2_base_epoch_ = 0;
+  l2_base_digests_.clear();
+  l2_base_bytes_ = 0;
+  xor_force_full_ = true;
 }
 
 void NodeAgent::maybe_compare() {
@@ -633,7 +778,43 @@ void NodeAgent::handle_commit(const wire::EpochMsg& msg) {
   if (store_.promote(msg.epoch) == ckpt::PromoteResult::Promoted) {
     // A new verified image exists: let the redundancy scheme protect it
     // (no-op under local/partner — the buddy already holds its copy).
-    scheme_->on_verified(store_.verified());
+    if (!codec_on()) {
+      scheme_->on_verified(store_.verified());
+    } else {
+      const ckpt::CodecConfig& codec = env_.config->codec;
+      // The hints point at the PREVIOUS committed image — the delta base —
+      // so they must be built before codec_base_ advances to this epoch.
+      ckpt::DeltaHints hints;
+      hints.codec = &codec;
+      hints.base_image = &codec_base_.image;
+      hints.base_digests = &codec_base_.digests;
+      hints.digests = &cand_digests_;
+      hints.base_epoch = codec_base_.epoch;
+      hints.force_full = xor_force_full_;
+      scheme_->on_verified(store_.verified(), &hints);
+      xor_force_full_ = false;
+      if (codec.delta_on()) {
+        // The committed image becomes every channel's next delta base.
+        codec_base_.epoch = msg.epoch;
+        codec_base_.image = store_.verified().image.buffer();
+        codec_base_.digests = std::move(cand_digests_);
+        cand_digests_.clear();
+        if (env_.config->detection == SdcDetection::FullCompare &&
+            !single_replica_ckpt_) {
+          if (replica_ == 0) {
+            // The buddy compared (and therefore holds) this full image.
+            sent_base_epoch_ = msg.epoch;
+          } else if (have_remote_ && remote_image_.size() > 0) {
+            // Cache the buddy's committed image: incoming delta frames are
+            // overlaid on it. Aliases the reconstructed/shipped buffer.
+            buddy_base_.epoch = msg.epoch;
+            buddy_base_.image = remote_image_;
+            buddy_base_.digests =
+                ckpt::CodecPipeline::digests(remote_image_.bytes());
+          }
+        }
+      }
+    }
     // An in-flight flush of the previous epoch is now pointless: the next
     // kFlushCommand targets the new verified image.
     if (tier_enabled() && flush_.active && flush_.epoch < msg.epoch)
@@ -694,6 +875,11 @@ void NodeAgent::restore_from(const ckpt::Image& ckpt, const char* why,
     store_.adopt_verified(local);
     phase_ = Phase::Idle;
     refresh_done_from_tasks();
+    // Every delta base is now stale: the adopted image broke the committed
+    // chain this node's channels were diffing along, and the peers' caches
+    // of THIS node's image may be gone with their hardware. Ship full
+    // everywhere until new bases are established.
+    invalidate_codec_bases();
     // The restored image is the node's (possibly new) verified state: the
     // redundancy scheme re-protects it. Under xor this is what re-feeds a
     // promoted spare's group parity — every member re-sends its chunks
@@ -779,8 +965,50 @@ void NodeAgent::start_flush(std::uint64_t epoch, bool urgent) {
   flush_.active = true;
   flush_.epoch = epoch;
   flush_.urgent = urgent;
+  flush_.blob.clear();
+  flush_.base_epoch = 0;
+  flush_.digests.clear();
+  if (codec_on()) {
+    // Codec path: encode the v2 blob NOW so the chunked drain below
+    // charges the (smaller) encoded size against the L2 channel. The blob
+    // is published verbatim after the last chunk; for the same epoch the
+    // verified image cannot change meanwhile, so pre-encoding is safe.
+    const ckpt::Image& img = store_.verified();
+    const ckpt::CodecConfig& codec = env_.config->codec;
+    std::vector<std::uint32_t> digests =
+        codec.delta_on() ? ckpt::CodecPipeline::digests(img.image.bytes())
+                         : std::vector<std::uint32_t>{};
+    // Delta against the newest blob this node published, while that chain
+    // stays fetchable and short (a bounded chain bounds both fetch cost
+    // and the blast radius of a lost ancestor).
+    bool base_ok = codec.delta_on() && l2_base_epoch_ != 0 &&
+                   l2_base_epoch_ < epoch &&
+                   l2_base_bytes_ == img.image.size() &&
+                   env_.tier->has(replica_, index_, l2_base_epoch_) &&
+                   env_.tier->chain_length(replica_, index_, l2_base_epoch_) <
+                       ckpt::kTierMaxChain;
+    if (base_ok || codec.compress_on()) {
+      ckpt::CodecPipeline pipe(codec);
+      ckpt::DeltaBlob blob;
+      blob.epoch = epoch;
+      blob.iteration = img.iteration;
+      blob.base_epoch = base_ok ? l2_base_epoch_ : 0;
+      blob.frame = base_ok ? pipe.encode(img.image.buffer(), digests,
+                                         &l2_base_digests_, l2_base_bytes_)
+                           : pipe.encode_full(img.image.buffer());
+      flush_.blob = ckpt::encode_delta_image(blob);
+      flush_.base_epoch = blob.base_epoch;
+    }
+    // Without a base and without compression the legacy v1 blob is
+    // strictly smaller than a raw v2 frame; flush_.blob stays empty.
+    flush_.digests = std::move(digests);
+  }
   flush_.remaining =
-      ckpt::encoded_image_bytes(store_.verified().image.size());
+      flush_.blob.empty()
+          ? ckpt::encoded_image_bytes(store_.verified().image.size())
+          : flush_.blob.size();
+  // Raw-vs-encoded accounting for the pipe (codec off: raw == the image).
+  env_.cluster->l2_note_raw(static_cast<double>(store_.verified().image.size()));
   std::uint64_t seq = ++flush_seq_;
   if (env_.cluster->trace_enabled(rt::kTraceTier))
     env_.cluster->trace().record(
@@ -818,11 +1046,22 @@ void NodeAgent::flush_next_chunk(std::uint64_t seq) {
     bool publish =
         store_.has_verified() && store_.verified().epoch == flush_.epoch;
     if (publish) {
-      ckpt::StoredImage img;
-      img.epoch = store_.verified().epoch;
-      img.iteration = store_.verified().iteration;
-      img.image = store_.verified().image;
-      env_.tier->publish(replica_, index_, img);
+      if (!flush_.blob.empty()) {
+        env_.tier->publish_blob(replica_, index_, flush_.epoch,
+                                std::move(flush_.blob), flush_.base_epoch);
+      } else {
+        ckpt::StoredImage img;
+        img.epoch = store_.verified().epoch;
+        img.iteration = store_.verified().iteration;
+        img.image = store_.verified().image;
+        env_.tier->publish(replica_, index_, img);
+      }
+      if (codec_on() && env_.config->codec.delta_on()) {
+        // This blob (v1 or v2 alike) anchors the next flush's delta.
+        l2_base_epoch_ = flush_.epoch;
+        l2_base_digests_ = std::move(flush_.digests);
+        l2_base_bytes_ = store_.verified().image.size();
+      }
     }
     finish_flush(publish);
   });
@@ -863,7 +1102,9 @@ void NodeAgent::handle_fetch_from_durable(const wire::RestoreCmdMsg& msg) {
   if (!tier_enabled()) return;
   // The wave's epoch is authoritative now; any background flush is moot.
   supersede_flush(/*trace=*/true);
-  std::uint64_t bytes = env_.tier->blob_bytes(replica_, index_, msg.epoch);
+  // chain_bytes == blob_bytes for a full image; for a delta blob it adds
+  // the base chain the reconstruction must also read.
+  std::uint64_t bytes = env_.tier->chain_bytes(replica_, index_, msg.epoch);
   if (bytes == 0) {
     // The manager targets newest_complete_epoch(), so this is only
     // reachable if the tier's contents changed under the wave; report back

@@ -106,6 +106,18 @@ class NodeAgent final : public rt::NodeService {
   /// The redundancy scheme protecting the verified image.
   const ckpt::RedundancyScheme& redundancy() const { return *scheme_; }
 
+  /// Codec-pipeline traffic counters (all zero when the codec is off).
+  struct CodecStats {
+    std::uint64_t frames = 0;        ///< codec frames shipped to the buddy
+    std::uint64_t full_frames = 0;   ///< frames that carried every chunk
+    std::uint64_t chunks_total = 0;  ///< chunks covered by shipped frames
+    std::uint64_t chunks_shipped = 0;  ///< chunks actually in the payloads
+    std::uint64_t raw_bytes = 0;     ///< image bytes the frames represent
+    std::uint64_t wire_bytes = 0;    ///< map + payload bytes on the wire
+    std::uint64_t need_full = 0;     ///< receiver-initiated full fallbacks
+  };
+  const CodecStats& codec_stats() const { return codec_stats_; }
+
  private:
   // Tree helpers over logical node indices of this replica.
   int parent_index() const { return (index_ - 1) / 2; }
@@ -130,6 +142,21 @@ class NodeAgent final : public rt::NodeService {
   void handle_buddy_checkpoint(const rt::Message& m);
   void handle_buddy_checksum(const rt::Message& m);
   void handle_send_to_buddy(const rt::Message& m, bool candidate);
+
+  // Codec pipeline (ckpt/codec.h) plumbing. All of it is inert when
+  // --ckpt-delta=off --ckpt-compress=none: codec_on() gates every call
+  // site, which is what keeps codec-off runs byte-identical.
+  bool codec_on() const { return env_.config->codec.enabled(); }
+  /// Ship the candidate to the buddy as a codec frame (dirty chunks and/or
+  /// compressed), or fall back to the legacy full transfer when no frame
+  /// is possible.
+  void send_codec_frame_to_buddy();
+  void handle_buddy_delta_checkpoint(const rt::Message& m);
+  void handle_buddy_need_full(const wire::NeedFullMsg& msg);
+  /// Drop every delta base (own, buddy's, L2 chain): the next transfer of
+  /// each kind ships a full image. Called on restart, role change, and
+  /// restore — the moments the ISSUE's invalidation rules name.
+  void invalidate_codec_bases();
 
   // Durable-tier plumbing (all no-ops unless env_.tier is attached AND
   // config->tier.enabled() — the gate that keeps no-L2 runs byte-identical).
@@ -242,9 +269,42 @@ class NodeAgent final : public rt::NodeService {
     std::uint64_t epoch = 0;
     std::uint64_t remaining = 0;  ///< encoded bytes still to drain
     bool urgent = false;          ///< drain/scavenge flush (counts as such)
+    /// Codec path: the pre-encoded v2 blob to publish after the last chunk
+    /// (empty = legacy v1 encode at publish time) and its delta base.
+    std::vector<std::byte> blob;
+    std::uint64_t base_epoch = 0;
+    /// Chunk digests of the flushed image — the next flush's delta base.
+    std::vector<std::uint32_t> digests;
   };
   FlushState flush_;
   std::uint64_t flush_seq_ = 0;
+
+  // Codec (delta/compress) state. A "base" is a committed image both ends
+  // of a channel agree on; deltas are only ever taken against one.
+  struct CodecBase {
+    std::uint64_t epoch = 0;  ///< 0 = no base held
+    buf::Buffer image;
+    std::vector<std::uint32_t> digests;  ///< kDigestChunk-grid CRC32Cs
+  };
+  /// This node's last committed image (delta base for buddy/xor sends).
+  CodecBase codec_base_;
+  /// Cached copy of the BUDDY's committed image (replica-1 compare side):
+  /// what incoming delta frames are overlaid on.
+  CodecBase buddy_base_;
+  /// Epoch of this node's image the buddy last held in full — deltas are
+  /// legal only while it equals codec_base_.epoch. 0 after any fallback.
+  std::uint64_t sent_base_epoch_ = 0;
+  /// Digests of the candidate packed this round (reused as codec_base_'s
+  /// digests when the round commits).
+  std::vector<std::uint32_t> cand_digests_;
+  /// Epoch/digests/size of this node's newest L2 blob: the flush chain's
+  /// delta base. The image itself lives in the tier.
+  std::uint64_t l2_base_epoch_ = 0;
+  std::vector<std::uint32_t> l2_base_digests_;
+  std::uint64_t l2_base_bytes_ = 0;
+  /// The next XOR parity exchange must ship full chunks (post-restore).
+  bool xor_force_full_ = false;
+  CodecStats codec_stats_;
 
   // Heartbeat state. Each node watches its buddy (cross-replica, §2.1) and
   // its reduction-tree parent and children (intra-replica), so every node

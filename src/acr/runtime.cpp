@@ -110,6 +110,9 @@ void AcrRuntime::setup() {
       engine_.schedule_at(acr_config_.halt_after,
                           [this]() { manager_->request_drain(); });
   }
+  // Same discipline for the codec: its trace kinds only fire when a codec
+  // stage is on, so codec-off traces stay byte-identical.
+  if (acr_config_.codec.enabled()) cluster_->enable_trace(rt::kTraceCodec);
   cluster_->start_application();
   if (fault_plan_.arrivals) schedule_next_fault(0.0);
   if (burst_config_.enabled()) arm_burst_injection();
@@ -287,8 +290,21 @@ RunSummary AcrRuntime::run(double max_virtual_time) {
       s.parity_chunks_sent += rs.parity_chunks_sent;
       s.parity_bytes_sent += rs.parity_bytes_sent;
       s.xor_rebuilds += rs.rebuilds_completed;
+      s.parity_delta_chunks += rs.parity_delta_chunks_sent;
+      s.parity_delta_bytes += rs.parity_delta_bytes_sent;
+      s.parity_rounds_poisoned += rs.parity_rounds_poisoned;
+      const NodeAgent::CodecStats& cs =
+          static_cast<NodeAgent*>(svc)->codec_stats();
+      s.codec_frames += cs.frames;
+      s.codec_full_frames += cs.full_frames;
+      s.codec_chunks_total += cs.chunks_total;
+      s.codec_chunks_shipped += cs.chunks_shipped;
+      s.codec_raw_bytes += cs.raw_bytes;
+      s.codec_wire_bytes += cs.wire_bytes;
+      s.codec_need_full += cs.need_full;
     }
   }
+  if (tier_) s.l2_delta_blobs = tier_->delta_publishes();
   return s;
 }
 

@@ -2,8 +2,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "pup/pup.h"
+#include "pup/stl.h"
 
 namespace acr::wire {
 
@@ -34,6 +36,9 @@ enum Tag : int {
   kHeartbeat,
   kXorParityChunk,      ///< parity chunk of a group member's verified image
   kXorRebuildPiece,     ///< survivor's image + parity for a spare's rebuild
+  kBuddyDeltaCheckpoint,  ///< codec frame: dirty chunks of the buddy image
+  kBuddyNeedFull,         ///< receiver lost the delta base; re-send full
+  kXorParityDeltaChunk,   ///< codec: XOR diff of the dirty slice ranges
 
   // Agent -> manager.
   kReplicaQuiesced = 300,  ///< root: subtree fully paused, max progress known
@@ -180,6 +185,38 @@ struct FlushDoneMsg {
     p | epoch;
     p | scavenged;
   }
+};
+
+/// Buddy DELTA checkpoint header (codec pipeline, --ckpt-delta=on). Only
+/// the dirty chunks of the sender's image travel, as the attachment; the
+/// chunk map says which. The receiver overlays them on its cached copy of
+/// the sender's base-epoch image to reconstruct the full image EXACTLY, so
+/// the downstream compare/restore paths are untouched. `encoding` mirrors
+/// ckpt::CodecFrame::encoding (0 = raw concat, 1 = per-chunk records).
+struct DeltaCheckpointMsg {
+  std::uint64_t epoch = 0;
+  std::uint64_t iteration = 0;
+  std::uint64_t base_epoch = 0;  ///< receiver must hold this cached image
+  std::uint64_t full_bytes = 0;  ///< reconstructed image size
+  std::uint8_t purpose = 0;      ///< 0: compare (restore always ships full)
+  std::uint8_t encoding = 0;
+  std::vector<std::uint8_t> present;  ///< chunk map, 1 = chunk in payload
+  void pup(pup::Puper& p) {
+    p | epoch;
+    p | iteration;
+    p | base_epoch;
+    p | full_bytes;
+    p | purpose;
+    p | encoding;
+    p | present;
+  }
+};
+
+/// Receiver -> sender: the delta base you assumed is gone (restart, size
+/// change, decode failure). Re-ship epochs > `epoch` as full images.
+struct NeedFullMsg {
+  std::uint64_t epoch = 0;  ///< last epoch the receiver holds (0 = none)
+  void pup(pup::Puper& p) { p | epoch; }
 };
 
 struct SuspectMsg {

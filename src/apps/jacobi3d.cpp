@@ -38,13 +38,19 @@ void Jacobi3DTask::init() {
   u_.assign(cfg_.doubles_per_task(), 0.0);
   u_new_.assign(cfg_.doubles_per_task(), 0.0);
   // Deterministic initial condition from global coordinates: identical in
-  // both replicas, different across tasks.
+  // both replicas, different across tasks. Points at or beyond the seeded
+  // Z fraction start exactly zero and stay bitwise zero until the update
+  // front (one cell per iteration) reaches them.
+  double z_seeded =
+      cfg_.init_fill_fraction *
+      static_cast<double>(cfg_.tasks_z) * static_cast<double>(cfg_.block_z);
   for (int k = 0; k < cfg_.block_z; ++k) {
     for (int j = 0; j < cfg_.block_y; ++j) {
       for (int i = 0; i < cfg_.block_x; ++i) {
         double gx = tx_ * cfg_.block_x + i;
         double gy = ty_ * cfg_.block_y + j;
         double gz = tz_ * cfg_.block_z + k;
+        if (gz >= z_seeded) continue;
         u_[idx(i, j, k)] =
             std::sin(0.13 * gx) * std::cos(0.07 * gy) + 0.01 * gz;
       }

@@ -23,6 +23,13 @@ Buffer Buffer::wrap(std::vector<std::byte> bytes) {
   return Buffer(std::move(storage), 0, len);
 }
 
+bool Buffer::content_equals(const Buffer& other) const {
+  if (len_ != other.len_) return false;
+  if (len_ == 0) return true;
+  if (storage_ == other.storage_ && offset_ == other.offset_) return true;
+  return std::memcmp(data(), other.data(), len_) == 0;
+}
+
 Buffer Buffer::slice(std::size_t offset, std::size_t len) const {
   ACR_REQUIRE(offset <= len_ && len <= len_ - offset,
               "buffer slice out of range");

@@ -76,6 +76,11 @@ class Buffer {
     return storage_ != nullptr && storage_ == other.storage_;
   }
 
+  /// Bytewise equality of the viewed windows. O(1) when both views cover
+  /// the same window of the same storage (the codec's zero-copy full
+  /// frames), O(n) otherwise.
+  bool content_equals(const Buffer& other) const;
+
   /// Number of shared_ptr owners of the storage: live Buffers plus at most
   /// one BufferBuilder retired-arena slot. 0 for an empty buffer. Exposed
   /// for tests and allocation accounting ("was this broadcast zero-copy?").

@@ -193,50 +193,48 @@ std::uint32_t crc32c_update(std::uint32_t state,
 // Chunk-parallel drivers.
 // ---------------------------------------------------------------------------
 
-namespace {
-
-std::size_t chunk_count(std::size_t len) {
-  return (len + kDigestChunk - 1) / kDigestChunk;
-}
-
-std::span<const std::byte> chunk_at(std::span<const std::byte> data,
-                                    std::size_t i) {
-  std::size_t begin = i * kDigestChunk;
-  std::size_t len = data.size() - begin < kDigestChunk ? data.size() - begin
-                                                       : kDigestChunk;
-  return data.subspan(begin, len);
-}
-
-}  // namespace
-
 std::uint32_t crc32c_chunked(std::span<const std::byte> data) {
   parallel::Pool& pool = parallel::global();
   if (pool.threads() == 0 || data.size() < 2 * kDigestChunk)
     return crc32c(data);
-  std::size_t n = chunk_count(data.size());
-  std::vector<std::uint32_t> part(n);
-  pool.for_each_index(n, [&](std::size_t i) {
-    part[i] = crc32c(chunk_at(data, i));
-  });
-  std::uint32_t acc = part[0];
-  for (std::size_t i = 1; i < n; ++i)
-    acc = crc32c_combine(acc, part[i], chunk_at(data, i).size());
-  return acc;
+  std::vector<std::uint32_t> part = kernels::map_chunks<std::uint32_t>(
+      data, [](std::span<const std::byte> c) { return crc32c(c); });
+  return kernels::reduce_chunks<std::uint32_t>(
+      part, data.size(),
+      [](std::uint32_t a, std::uint32_t b, std::size_t len_b) {
+        return crc32c_combine(a, b, len_b);
+      });
 }
 
 std::uint64_t fletcher64_chunked(std::span<const std::byte> data) {
   parallel::Pool& pool = parallel::global();
   if (pool.threads() == 0 || data.size() < 2 * kDigestChunk)
     return fletcher64(data);
-  std::size_t n = chunk_count(data.size());
-  std::vector<std::uint64_t> part(n);
-  pool.for_each_index(n, [&](std::size_t i) {
-    part[i] = fletcher64(chunk_at(data, i));
-  });
-  std::uint64_t acc = part[0];
-  for (std::size_t i = 1; i < n; ++i)
-    acc = fletcher64_combine(acc, part[i], chunk_at(data, i).size());
-  return acc;
+  std::vector<std::uint64_t> part = kernels::map_chunks<std::uint64_t>(
+      data, [](std::span<const std::byte> c) { return fletcher64(c); });
+  return kernels::reduce_chunks<std::uint64_t>(
+      part, data.size(),
+      [](std::uint64_t a, std::uint64_t b, std::size_t len_b) {
+        return fletcher64_combine(a, b, len_b);
+      });
+}
+
+std::vector<std::uint32_t> crc32c_chunk_digests(
+    std::span<const std::byte> data) {
+  return kernels::map_chunks<std::uint32_t>(
+      data, [](std::span<const std::byte> c) { return crc32c(c); });
+}
+
+std::uint32_t crc32c_merge_chunk_digests(std::span<const std::uint32_t> digests,
+                                         std::size_t total_len) {
+  ACR_REQUIRE(digests.size() == digest_chunk_count(total_len),
+              "chunk-digest merge: vector does not match the chunk grid");
+  if (digests.empty()) return crc32c({});
+  return kernels::reduce_chunks<std::uint32_t>(
+      digests, total_len,
+      [](std::uint32_t a, std::uint32_t b, std::size_t len_b) {
+        return crc32c_combine(a, b, len_b);
+      });
 }
 
 void xor_fold_chunked(std::vector<std::byte>& acc,
@@ -247,11 +245,11 @@ void xor_fold_chunked(std::vector<std::byte>& acc,
     kernels::xor_fold_words(acc.data(), add.data(), add.size());
     return;
   }
-  std::size_t n = chunk_count(add.size());
+  std::size_t n = digest_chunk_count(add.size());
   pool.for_each_index(n, [&](std::size_t i) {
-    std::span<const std::byte> c = chunk_at(add, i);
-    kernels::xor_fold_words(acc.data() + i * kDigestChunk, c.data(),
-                            c.size());
+    auto [begin, end] = digest_chunk_range(add.size(), i);
+    kernels::xor_fold_words(acc.data() + begin, add.data() + begin,
+                            end - begin);
   });
 }
 

@@ -1,0 +1,333 @@
+#include "ckpt/codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/require.h"
+#include "parallel/pool.h"
+
+namespace acr::ckpt {
+
+const char* delta_mode_name(DeltaMode m) {
+  return m == DeltaMode::On ? "on" : "off";
+}
+
+const char* compress_mode_name(CompressMode m) {
+  return m == CompressMode::Lz ? "lz" : "none";
+}
+
+std::size_t ChunkMap::present_chunks() const {
+  std::size_t n = 0;
+  for (std::uint8_t f : present) n += f != 0;
+  return n;
+}
+
+bool ChunkMap::all_present() const {
+  return present_chunks() == present.size();
+}
+
+// ---------------------------------------------------------------------------
+// LZ block codec.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kLzWindow = 65535;  // 16-bit back-offsets
+constexpr std::size_t kLzMinMatch = 4;
+constexpr std::size_t kLzMaxMatch = 259;  // length-4 fits one byte
+constexpr std::size_t kLzHashBits = 15;
+
+inline std::uint32_t lz_hash(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kLzHashBits);
+}
+
+}  // namespace
+
+std::vector<std::byte> lz_compress_block(std::span<const std::byte> in) {
+  const std::size_t n = in.size();
+  std::vector<std::byte> out;
+  out.reserve(n / 2 + 16);
+  // Single-entry hash table of 4-byte prefixes -> most recent position.
+  std::vector<std::int64_t> head(std::size_t{1} << kLzHashBits, -1);
+
+  std::size_t ctrl_pos = 0;  // index of the current control byte in `out`
+  int ctrl_used = 8;         // forces a fresh control byte on first item
+
+  auto begin_item = [&](bool is_match) {
+    if (ctrl_used == 8) {
+      ctrl_pos = out.size();
+      out.push_back(std::byte{0});
+      ctrl_used = 0;
+    }
+    if (is_match)
+      out[ctrl_pos] |= std::byte{static_cast<unsigned char>(1u << ctrl_used)};
+    ++ctrl_used;
+  };
+
+  std::size_t p = 0;
+  while (p < n) {
+    std::size_t best_len = 0;
+    std::size_t best_off = 0;
+    if (p + kLzMinMatch <= n) {
+      std::uint32_t h = lz_hash(in.data() + p);
+      std::int64_t cand = head[h];
+      head[h] = static_cast<std::int64_t>(p);
+      if (cand >= 0) {
+        std::size_t off = p - static_cast<std::size_t>(cand);
+        if (off >= 1 && off <= kLzWindow) {
+          const std::byte* a = in.data() + p;
+          const std::byte* b = in.data() + static_cast<std::size_t>(cand);
+          std::size_t limit = std::min(kLzMaxMatch, n - p);
+          std::size_t len = 0;
+          while (len < limit && a[len] == b[len]) ++len;
+          if (len >= kLzMinMatch) {
+            best_len = len;
+            best_off = off;
+          }
+        }
+      }
+    }
+    if (best_len > 0) {
+      begin_item(true);
+      out.push_back(std::byte{static_cast<unsigned char>(best_off & 0xFF)});
+      out.push_back(std::byte{static_cast<unsigned char>(best_off >> 8)});
+      out.push_back(
+          std::byte{static_cast<unsigned char>(best_len - kLzMinMatch)});
+      // Index the covered positions so later zero/lattice runs keep finding
+      // nearby matches; skipping them would still be correct, just weaker.
+      std::size_t stop = std::min(p + best_len, n - kLzMinMatch + 1);
+      for (std::size_t q = p + 1; q < stop; ++q)
+        head[lz_hash(in.data() + q)] = static_cast<std::int64_t>(q);
+      p += best_len;
+    } else {
+      begin_item(false);
+      out.push_back(in[p]);
+      ++p;
+    }
+  }
+  return out;
+}
+
+std::vector<std::byte> lz_decompress_block(std::span<const std::byte> in,
+                                           std::size_t out_len) {
+  std::vector<std::byte> out;
+  out.reserve(out_len);
+  std::size_t p = 0;
+  std::uint8_t ctrl = 0;
+  int ctrl_left = 0;
+  while (out.size() < out_len) {
+    if (ctrl_left == 0) {
+      if (p >= in.size()) throw pup::StreamError("lz block truncated");
+      ctrl = static_cast<std::uint8_t>(in[p++]);
+      ctrl_left = 8;
+    }
+    bool is_match = (ctrl & 1u) != 0;
+    ctrl >>= 1;
+    --ctrl_left;
+    if (is_match) {
+      if (p + 3 > in.size()) throw pup::StreamError("lz block truncated");
+      std::size_t off = static_cast<std::size_t>(in[p]) |
+                        (static_cast<std::size_t>(in[p + 1]) << 8);
+      std::size_t len = static_cast<std::size_t>(in[p + 2]) + kLzMinMatch;
+      p += 3;
+      if (off == 0 || off > out.size() || out.size() + len > out_len)
+        throw pup::StreamError("lz block has a bad match token");
+      // Byte-by-byte: offset-1 runs legitimately overlap their own output.
+      std::size_t src = out.size() - off;
+      for (std::size_t i = 0; i < len; ++i) out.push_back(out[src + i]);
+    } else {
+      if (p >= in.size()) throw pup::StreamError("lz block truncated");
+      out.push_back(in[p++]);
+    }
+  }
+  if (p != in.size())
+    throw pup::StreamError("lz block has trailing garbage");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Frame encode/decode.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-chunk record header of encoding-1 payloads.
+void append_record(buf::BufferBuilder& b, ChunkEncoding enc,
+                   std::span<const std::byte> body) {
+  std::uint8_t e = static_cast<std::uint8_t>(enc);
+  std::uint32_t len = static_cast<std::uint32_t>(body.size());
+  b.write(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(&e), 1));
+  b.write(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(&len), sizeof len));
+  b.write(body);
+}
+
+}  // namespace
+
+/// Stages 1–3 sans payload: the chunk map and byte accounting.
+static CodecFrame start_frame(const CodecConfig& cfg,
+                              std::span<const std::byte> image,
+                              std::span<const std::uint32_t> digests,
+                              const std::vector<std::uint32_t>* base_digests,
+                              std::uint64_t base_bytes) {
+  const std::size_t n = checksum::digest_chunk_count(image.size());
+  CodecFrame frame;
+  frame.map.full_bytes = image.size();
+  frame.map.present.assign(n, 1);
+
+  bool delta = cfg.delta_on() && base_digests != nullptr &&
+               base_bytes == image.size() && base_digests->size() == n &&
+               digests.size() == n;
+  if (delta)
+    for (std::size_t i = 0; i < n; ++i)
+      frame.map.present[i] = digests[i] != (*base_digests)[i] ? 1 : 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!frame.map.present[i]) continue;
+    auto [begin, end] = checksum::digest_chunk_range(image.size(), i);
+    frame.raw_payload_bytes += end - begin;
+  }
+  return frame;
+}
+
+CodecFrame CodecPipeline::encode(std::span<const std::byte> image,
+                                 std::span<const std::uint32_t> digests,
+                                 const std::vector<std::uint32_t>* base_digests,
+                                 std::uint64_t base_bytes) const {
+  CodecFrame frame =
+      start_frame(cfg_, image, digests, base_digests, base_bytes);
+  const std::size_t n = frame.map.present.size();
+  std::vector<std::size_t> carried;
+  carried.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (frame.map.present[i]) carried.push_back(i);
+
+  if (!cfg_.compress_on()) {
+    frame.encoding = 0;
+    if (carried.size() == n) {
+      frame.payload = buf::Buffer::copy_of(image);
+    } else {
+      buf::BufferBuilder b;
+      b.reserve(frame.raw_payload_bytes);
+      for (std::size_t i : carried) {
+        auto [begin, end] = checksum::digest_chunk_range(image.size(), i);
+        b.write(image.subspan(begin, end - begin));
+      }
+      frame.payload = b.take();
+    }
+    return frame;
+  }
+
+  // Compress stage: each carried chunk independently (the same traversal
+  // shape as the digest stage), merged in chunk order.
+  frame.encoding = 1;
+  std::vector<std::vector<std::byte>> packed(carried.size());
+  std::vector<std::uint8_t> enc(carried.size());
+  auto pack_one = [&](std::size_t k) {
+    auto [begin, end] = checksum::digest_chunk_range(image.size(), carried[k]);
+    std::span<const std::byte> raw = image.subspan(begin, end - begin);
+    std::vector<std::byte> lz = lz_compress_block(raw);
+    if (lz.size() < raw.size()) {
+      packed[k] = std::move(lz);
+      enc[k] = static_cast<std::uint8_t>(ChunkEncoding::Lz);
+    } else {
+      packed[k].assign(raw.begin(), raw.end());
+      enc[k] = static_cast<std::uint8_t>(ChunkEncoding::Raw);
+    }
+  };
+  parallel::Pool& pool = parallel::global();
+  if (pool.threads() == 0 || carried.size() < 2) {
+    for (std::size_t k = 0; k < carried.size(); ++k) pack_one(k);
+  } else {
+    pool.for_each_index(carried.size(), pack_one);
+  }
+  buf::BufferBuilder b;
+  for (std::size_t k = 0; k < carried.size(); ++k)
+    append_record(b, static_cast<ChunkEncoding>(enc[k]), packed[k]);
+  frame.payload = b.take();
+  return frame;
+}
+
+CodecFrame CodecPipeline::encode_full(std::span<const std::byte> image) const {
+  return encode(image, {}, nullptr, 0);
+}
+
+CodecFrame CodecPipeline::encode(const buf::Buffer& image,
+                                 std::span<const std::uint32_t> digests,
+                                 const std::vector<std::uint32_t>* base_digests,
+                                 std::uint64_t base_bytes) const {
+  if (!cfg_.compress_on()) {
+    // The raw full-map degenerate case must not byte-copy the image; build
+    // the map first and alias when every chunk is carried.
+    CodecFrame frame =
+        start_frame(cfg_, image.bytes(), digests, base_digests, base_bytes);
+    if (frame.map.all_present()) {
+      frame.encoding = 0;
+      frame.payload = image;
+      return frame;
+    }
+  }
+  return encode(image.bytes(), digests, base_digests, base_bytes);
+}
+
+CodecFrame CodecPipeline::encode_full(const buf::Buffer& image) const {
+  return encode(image, {}, nullptr, 0);
+}
+
+buf::Buffer CodecPipeline::decode(const CodecFrame& frame,
+                                  std::span<const std::byte> base) {
+  const std::uint64_t full = frame.map.full_bytes;
+  const std::size_t n = checksum::digest_chunk_count(full);
+  if (frame.map.present.size() != n)
+    throw pup::StreamError("codec frame: chunk map does not match image size");
+  if (!frame.map.all_present() && base.size() != full)
+    throw pup::StreamError("codec frame: delta without a matching base image");
+
+  std::span<const std::byte> payload = frame.payload.bytes();
+  std::size_t cursor = 0;
+  buf::BufferBuilder out;
+  out.reserve(full);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto [begin, end] = checksum::digest_chunk_range(full, i);
+    std::size_t raw_len = end - begin;
+    if (!frame.map.present[i]) {
+      out.write(base.subspan(begin, raw_len));
+      continue;
+    }
+    if (frame.encoding == 0) {
+      if (cursor + raw_len > payload.size())
+        throw pup::StreamError("codec frame: raw payload truncated");
+      out.write(payload.subspan(cursor, raw_len));
+      cursor += raw_len;
+    } else {
+      if (cursor + 5 > payload.size())
+        throw pup::StreamError("codec frame: record header truncated");
+      std::uint8_t e = static_cast<std::uint8_t>(payload[cursor]);
+      std::uint32_t len = 0;
+      std::memcpy(&len, payload.data() + cursor + 1, sizeof len);
+      cursor += 5;
+      if (cursor + len > payload.size())
+        throw pup::StreamError("codec frame: record body truncated");
+      std::span<const std::byte> body = payload.subspan(cursor, len);
+      cursor += len;
+      if (e == static_cast<std::uint8_t>(ChunkEncoding::Raw)) {
+        if (body.size() != raw_len)
+          throw pup::StreamError("codec frame: raw record length mismatch");
+        out.write(body);
+      } else if (e == static_cast<std::uint8_t>(ChunkEncoding::Lz)) {
+        std::vector<std::byte> raw = lz_decompress_block(body, raw_len);
+        out.write(raw);
+      } else {
+        throw pup::StreamError("codec frame: unknown chunk encoding");
+      }
+    }
+  }
+  if (cursor != payload.size())
+    throw pup::StreamError("codec frame: payload has trailing bytes");
+  return out.take();
+}
+
+}  // namespace acr::ckpt

@@ -1,6 +1,7 @@
 #include "ckpt/redundancy.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "checksum/fold.h"
@@ -60,22 +61,98 @@ std::pair<std::size_t, std::size_t> XorScheme::chunk_range(std::uint64_t size,
 }
 
 void XorScheme::on_verified(const Image& img) {
+  on_verified(img, nullptr);
+}
+
+void XorScheme::on_verified(const Image& img, const DeltaHints* hints) {
   ACR_REQUIRE(img.valid, "parity exchange needs a valid image");
-  // One chunk per other group member: holder i receives chunk (i-me-1) mod
-  // n of this node's image, as a zero-copy slice of the stored checkpoint.
+  // Delta exchange is possible only when every precondition holds; any
+  // miss falls back to the legacy full exchange (never a correctness
+  // dependency). Cadence: epochs 1, 1+k, 1+2k... always go full, so a
+  // holder that lost its parity history (promoted spare, shrink remap)
+  // re-converges within k commits instead of poisoning rounds forever.
+  bool delta = hints != nullptr && hints->codec != nullptr &&
+               hints->codec->delta_on() && !hints->force_full &&
+               hints->base_epoch != 0 && hints->base_epoch < img.epoch &&
+               hints->base_image != nullptr &&
+               hints->base_image->size() == img.image.size() &&
+               hints->digests != nullptr && hints->base_digests != nullptr &&
+               hints->digests->size() == hints->base_digests->size() &&
+               img.epoch % kXorDeltaFullCadence != 1;
+  if (!delta) {
+    // One chunk per other group member: holder i receives chunk (i-me-1)
+    // mod n of this node's image, as a zero-copy slice of the stored
+    // checkpoint.
+    for (int i = 0; i < n_; ++i) {
+      if (i == my_rank_) continue;
+      int t = (i - my_rank_ - 1 + n_) % n_;
+      auto [begin, end] = chunk_range(img.image.size(), t);
+      XorChunkMsg msg;
+      msg.epoch = img.epoch;
+      msg.iteration = img.iteration;
+      msg.image_size = img.image.size();
+      buf::Buffer chunk = img.image.buffer().slice(begin, end - begin);
+      ++stats_.parity_chunks_sent;
+      stats_.parity_bytes_sent += chunk.size();
+      hooks_.send_chunk(members_[static_cast<std::size_t>(i)], msg,
+                        std::move(chunk));
+    }
+    return;
+  }
+
+  std::span<const std::byte> now = img.image.bytes();
+  std::span<const std::byte> base = hints->base_image->bytes();
+  const std::vector<std::uint32_t>& dg = *hints->digests;
+  const std::vector<std::uint32_t>& bdg = *hints->base_digests;
   for (int i = 0; i < n_; ++i) {
     if (i == my_rank_) continue;
     int t = (i - my_rank_ - 1 + n_) % n_;
     auto [begin, end] = chunk_range(img.image.size(), t);
-    XorChunkMsg msg;
+    XorDeltaChunkMsg msg;
     msg.epoch = img.epoch;
     msg.iteration = img.iteration;
+    msg.base_epoch = hints->base_epoch;
     msg.image_size = img.image.size();
-    buf::Buffer chunk = img.image.buffer().slice(begin, end - begin);
-    ++stats_.parity_chunks_sent;
-    stats_.parity_bytes_sent += chunk.size();
-    hooks_.send_chunk(members_[static_cast<std::size_t>(i)], msg,
-                      std::move(chunk));
+    // Dirty sub-ranges of this holder's slice: the digest grid's dirty
+    // chunks intersected with [begin, end), adjacent runs merged. Offsets
+    // are slice-relative — exactly the parity positions the holder folds.
+    std::vector<std::byte> diff;
+    std::size_t g0 = begin / checksum::kDigestChunk;
+    for (std::size_t g = g0; g * checksum::kDigestChunk < end && g < dg.size();
+         ++g) {
+      if (dg[g] == bdg[g]) continue;
+      auto [cb, ce] = checksum::digest_chunk_range(img.image.size(), g);
+      std::size_t lo = cb > begin ? cb : begin;
+      std::size_t hi = ce < end ? ce : end;
+      if (lo >= hi) continue;
+      std::uint64_t rel = lo - begin;
+      if (!msg.offsets.empty() &&
+          msg.offsets.back() + msg.lens.back() == rel) {
+        msg.lens.back() += hi - lo;  // merge adjacent dirty runs
+      } else {
+        msg.offsets.push_back(rel);
+        msg.lens.push_back(hi - lo);
+      }
+      std::size_t at = diff.size();
+      diff.resize(at + (hi - lo));
+      std::memcpy(diff.data() + at, now.data() + lo, hi - lo);
+      checksum::kernels::xor_fold_words(diff.data() + at, base.data() + lo,
+                                        hi - lo);
+    }
+    buf::Buffer payload;
+    if (hints->codec->compress_on() && !diff.empty()) {
+      std::vector<std::byte> lz = lz_compress_block(diff);
+      if (lz.size() < diff.size()) {
+        msg.encoding = 1;
+        payload = buf::Buffer::wrap(std::move(lz));
+      }
+    }
+    if (msg.encoding == 0 && !diff.empty())
+      payload = buf::Buffer::wrap(std::move(diff));
+    ++stats_.parity_delta_chunks_sent;
+    stats_.parity_delta_bytes_sent += payload.size();
+    hooks_.send_delta_chunk(members_[static_cast<std::size_t>(i)], msg,
+                            std::move(payload));
   }
 }
 
@@ -89,15 +166,98 @@ void XorScheme::on_chunk(int src_index, const XorChunkMsg& msg,
   PendingParity& b = building_[msg.epoch];
   if (b.sizes.empty()) b.sizes.assign(static_cast<std::size_t>(n_), 0);
   if (!b.contributed.insert(rank).second) return;  // duplicate chunk
+  if (b.mode == PendingParity::Mode::Undecided)
+    b.mode = PendingParity::Mode::Full;
+  else if (b.mode != PendingParity::Mode::Full)
+    b.poisoned = true;  // mixed full/delta round: the algebra is meaningless
   // Building the group parity is the hottest xor in the tree (one fold per
   // arriving chunk per epoch); fan it across the kernel pool. XOR is
   // positional, so the parity bytes are identical at any thread count.
-  checksum::xor_fold_chunked(b.parity, chunk.bytes());
+  if (!b.poisoned) checksum::xor_fold_chunked(b.parity, chunk.bytes());
   b.sizes[static_cast<std::size_t>(rank)] = msg.image_size;
   b.iteration = msg.iteration;
+  finish_round_if_complete(msg.epoch, b);
+}
+
+void XorScheme::on_delta_chunk(int src_index, const XorDeltaChunkMsg& msg,
+                               buf::Buffer payload) {
+  if (complete_ && msg.epoch <= complete_->epoch) return;
+  int rank = rank_of(src_index);
+  PendingParity& b = building_[msg.epoch];
+  if (b.sizes.empty()) b.sizes.assign(static_cast<std::size_t>(n_), 0);
+  if (!b.contributed.insert(rank).second) return;  // duplicate contribution
+  if (b.mode == PendingParity::Mode::Undecided) {
+    if (complete_ && complete_->epoch == msg.base_epoch) {
+      // Seed this round's parity from the base epoch's complete parity;
+      // each member's diff advances it in place.
+      b.mode = PendingParity::Mode::Delta;
+      b.base_epoch = msg.base_epoch;
+      b.parity = complete_->parity;
+      b.sizes = complete_->sizes;
+      b.sizes[static_cast<std::size_t>(my_rank_)] = 0;
+    } else {
+      b.mode = PendingParity::Mode::Delta;
+      b.poisoned = true;  // nothing to seed from: wait for a full round
+    }
+  } else if (b.mode != PendingParity::Mode::Delta ||
+             b.base_epoch != msg.base_epoch) {
+    b.poisoned = true;
+  }
+  // A member whose image size changed must have sent full (its own
+  // precondition); a size mismatch against the seeded parity is corrupt.
+  if (!b.poisoned && b.sizes[static_cast<std::size_t>(rank)] != msg.image_size)
+    b.poisoned = true;
+  if (!b.poisoned && msg.offsets.size() != msg.lens.size()) b.poisoned = true;
+  if (!b.poisoned) {
+    std::uint64_t total = 0;
+    for (std::uint64_t l : msg.lens) total += l;
+    std::vector<std::byte> raw;
+    std::span<const std::byte> diff = payload.bytes();
+    if (msg.encoding == 1) {
+      try {
+        raw = lz_decompress_block(payload.bytes(),
+                                  static_cast<std::size_t>(total));
+      } catch (const pup::StreamError&) {
+        b.poisoned = true;
+      }
+      diff = raw;
+    }
+    if (!b.poisoned && diff.size() != total) b.poisoned = true;
+    if (!b.poisoned) {
+      std::size_t cursor = 0;
+      for (std::size_t r = 0; r < msg.offsets.size(); ++r) {
+        std::size_t off = static_cast<std::size_t>(msg.offsets[r]);
+        std::size_t len = static_cast<std::size_t>(msg.lens[r]);
+        if (off + len > b.parity.size()) {
+          b.poisoned = true;
+          break;
+        }
+        checksum::kernels::xor_fold_words(b.parity.data() + off,
+                                          diff.data() + cursor, len);
+        cursor += len;
+      }
+    }
+  }
+  b.sizes[static_cast<std::size_t>(rank)] = msg.image_size;
+  b.iteration = msg.iteration;
+  finish_round_if_complete(msg.epoch, b);
+}
+
+void XorScheme::finish_round_if_complete(std::uint64_t epoch,
+                                         PendingParity& b) {
   if (static_cast<int>(b.contributed.size()) < n_ - 1) return;
+  if (b.poisoned) {
+    // The round never completes; complete_ keeps protecting its (older)
+    // epoch until a full exchange re-converges the group.
+    ++stats_.parity_rounds_poisoned;
+    log_warn("ckpt.xor") << "parity round for epoch " << epoch
+                         << " poisoned; keeping epoch "
+                         << (complete_ ? complete_->epoch : 0);
+    building_.erase(epoch);
+    return;
+  }
   CompleteParity done;
-  done.epoch = msg.epoch;
+  done.epoch = epoch;
   done.iteration = b.iteration;
   done.parity = std::move(b.parity);
   done.sizes = std::move(b.sizes);

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "buf/buffer.h"
+#include "ckpt/codec.h"
 #include "ckpt/group.h"
 #include "ckpt/store.h"
 #include "pup/pup.h"
@@ -61,6 +62,55 @@ struct XorChunkMsg {
     p | iteration;
     p | image_size;
   }
+};
+
+/// Delta parity chunk (codec pipeline, --ckpt-delta=on): instead of the
+/// full chunk, the member ships the XOR DIFFERENCE new^base of the dirty
+/// sub-ranges of its slice. Because parity is linear,
+///   parity_new = parity_base XOR fold(all members' diffs),
+/// a holder seeds this epoch's parity from its complete base-epoch parity
+/// and folds each diff in place. Valid only when EVERY member of the round
+/// diffs against the holder's complete epoch — a mixed or unseedable round
+/// is poisoned and simply does not complete (the group stays protected at
+/// the base epoch until the next full exchange; see kXorDeltaFullCadence).
+/// Offsets are relative to the member's slice, i.e. parity positions.
+struct XorDeltaChunkMsg {
+  std::uint64_t epoch = 0;
+  std::uint64_t iteration = 0;
+  std::uint64_t base_epoch = 0;   ///< epoch the diffs are taken against
+  std::uint64_t image_size = 0;   ///< sender's full verified image size
+  std::uint8_t encoding = 0;      ///< 0 raw, 1 lz (attachment payload)
+  std::vector<std::uint64_t> offsets;  ///< slice-relative dirty range starts
+  std::vector<std::uint64_t> lens;     ///< dirty range lengths
+  void pup(pup::Puper& p) {
+    p | epoch;
+    p | iteration;
+    p | base_epoch;
+    p | image_size;
+    p | encoding;
+    p | offsets;
+    p | lens;
+  }
+};
+
+/// Every this-many epochs the XOR exchange ships full chunks even when
+/// deltas are possible, so a holder whose parity history died with its
+/// hardware (promoted spare, shrink remap) re-converges within a bounded
+/// number of commits instead of poisoning delta rounds forever.
+inline constexpr std::uint64_t kXorDeltaFullCadence = 4;
+
+/// Codec context the agent hands the scheme alongside a verified image:
+/// the previous verified epoch (the delta base) and this image's chunk
+/// digests. Null pointer = no codec / no base — ship full. force_full
+/// marks re-protection after a restore, whose receivers may have lost
+/// their parity history.
+struct DeltaHints {
+  const CodecConfig* codec = nullptr;
+  const buf::Buffer* base_image = nullptr;
+  const std::vector<std::uint32_t>* base_digests = nullptr;
+  const std::vector<std::uint32_t>* digests = nullptr;
+  std::uint64_t base_epoch = 0;  ///< 0 = no base held
+  bool force_full = false;
 };
 
 /// Rebuild contribution from one survivor to the promoted spare: the
@@ -88,6 +138,10 @@ struct RedundancyStats {
   std::uint64_t parity_bytes_sent = 0;    ///< chunk bytes put on the wire
   std::uint64_t rebuild_pieces_sent = 0;
   std::uint64_t rebuilds_completed = 0;   ///< images reassembled on this node
+  // Codec (delta) counters — zero unless --ckpt-delta=on.
+  std::uint64_t parity_delta_chunks_sent = 0;
+  std::uint64_t parity_delta_bytes_sent = 0;  ///< diff payload bytes shipped
+  std::uint64_t parity_rounds_poisoned = 0;   ///< delta rounds that fell back
 };
 
 /// Strategy interface. One instance per node agent; the agent forwards
@@ -102,6 +156,14 @@ class RedundancyScheme {
   /// completed restore — the latter matters: a promoted spare's parity
   /// died with its predecessor and must be re-fed by the group).
   virtual void on_verified(const Image& img) { (void)img; }
+
+  /// Codec-aware variant: `hints` (may be null) carries the delta base and
+  /// chunk digests. The default forwards to the legacy entry point, so
+  /// schemes without a delta path are untouched.
+  virtual void on_verified(const Image& img, const DeltaHints* hints) {
+    (void)hints;
+    on_verified(img);
+  }
 
   /// Forget all redundancy state (restart from scratch / re-promotion).
   virtual void reset() {}
@@ -137,6 +199,11 @@ class XorScheme final : public RedundancyScheme {
     std::function<void(int dst_index, const XorChunkMsg& msg,
                        buf::Buffer chunk)>
         send_chunk;
+    /// Ship a DELTA parity chunk (diff payload as the attachment). Only
+    /// wired when the codec's delta stage is on; never called otherwise.
+    std::function<void(int dst_index, const XorDeltaChunkMsg& msg,
+                       buf::Buffer payload)>
+        send_delta_chunk;
     /// Ship a rebuild piece to the promoted spare at `dst_index`.
     std::function<void(int dst_index, const XorPieceMsg& msg,
                        buf::Buffer image)>
@@ -152,6 +219,7 @@ class XorScheme final : public RedundancyScheme {
 
   Scheme kind() const override { return Scheme::Xor; }
   void on_verified(const Image& img) override;
+  void on_verified(const Image& img, const DeltaHints* hints) override;
   void reset() override;
   std::size_t redundancy_bytes() const override;
 
@@ -159,6 +227,14 @@ class XorScheme final : public RedundancyScheme {
   /// identity sets per epoch: a duplicated chunk (at-least-once transport)
   /// must not XOR-cancel itself out of the parity.
   void on_chunk(int src_index, const XorChunkMsg& msg, buf::Buffer chunk);
+
+  /// A member's DELTA parity chunk arrived: seed from the base-epoch
+  /// parity and fold the diff ranges. A round that cannot seed (no parity
+  /// for the base epoch), mixes full and delta contributions, or diffs
+  /// against mismatched bases is poisoned: it never completes and the
+  /// holder keeps protecting the base epoch until the next full round.
+  void on_delta_chunk(int src_index, const XorDeltaChunkMsg& msg,
+                      buf::Buffer payload);
 
   /// Manager ordered this survivor to feed the spare rebuilding
   /// `dead_index`. `verified` is the node's current verified image.
@@ -180,6 +256,12 @@ class XorScheme final : public RedundancyScheme {
     std::vector<std::byte> parity;
     std::uint64_t iteration = 0;
     std::vector<std::uint64_t> sizes;  ///< image size per rank (0 = self)
+    // Codec bookkeeping: a round is uniformly full chunks or uniformly
+    // deltas against ONE base epoch; anything else poisons it.
+    enum class Mode : std::uint8_t { Undecided, Full, Delta };
+    Mode mode = Mode::Undecided;
+    std::uint64_t base_epoch = 0;  ///< Delta mode: the seeded parity's epoch
+    bool poisoned = false;
   };
   struct CompleteParity {
     std::uint64_t epoch = 0;
@@ -202,6 +284,9 @@ class XorScheme final : public RedundancyScheme {
   /// Bytes [begin, end) of chunk `t` of an image of `size`.
   std::pair<std::size_t, std::size_t> chunk_range(std::uint64_t size,
                                                   int t) const;
+  /// Shared tail of on_chunk / on_delta_chunk: promote (or, when poisoned,
+  /// discard) the round once all n-1 contributions are in.
+  void finish_round_if_complete(std::uint64_t epoch, PendingParity& b);
   void try_reassemble(std::uint64_t barrier);
 
   std::vector<int> members_;  ///< node indices of this group, ascending

@@ -49,6 +49,12 @@ struct TierConfig {
   bool enabled() const { return bandwidth > 0.0; }
 };
 
+/// Longest delta chain an agent will grow in the tier: once the newest
+/// blob's chain reaches this many links, the next flush ships a full (or
+/// self-contained compressed) image. Bounds both the fetch read cost and
+/// how many ancestors a single lost blob can orphan.
+inline constexpr std::uint64_t kTierMaxChain = 8;
+
 /// In-memory model of the durable store's contents plus lifetime counters.
 class DurableTier {
  public:
@@ -72,14 +78,36 @@ class DurableTier {
   /// restored node re-flushing its adopted image) is idempotent.
   void publish(int replica, int index, const StoredImage& img);
 
+  /// Install a pre-encoded blob (vault v1 or v2 bytes). The codec flush
+  /// path encodes its delta/compressed blob up front — the same bytes that
+  /// were charged chunk-by-chunk against the L2 channel — and publishes it
+  /// verbatim here. `base_epoch != 0` declares a delta blob whose decode
+  /// needs that ancestor; fetch() follows the chain and prune() keeps the
+  /// ancestors of every kept delta alive.
+  void publish_blob(int replica, int index, std::uint64_t epoch,
+                    std::vector<std::byte> blob, std::uint64_t base_epoch);
+
   bool has(int replica, int index, std::uint64_t epoch) const;
 
-  /// Decode (and integrity-check) a node's image for an epoch.
+  /// Decode (and integrity-check) a node's image for an epoch. A delta
+  /// blob is reconstructed by recursively fetching its base chain and
+  /// overlaying each frame; a broken chain (missing/corrupt ancestor)
+  /// yields nullopt, pushing the fetch wave to an older epoch or scratch.
   std::optional<StoredImage> fetch(int replica, int index,
                                    std::uint64_t epoch);
 
   /// Encoded size of the blob at a key, or 0 if absent.
   std::uint64_t blob_bytes(int replica, int index, std::uint64_t epoch) const;
+
+  /// Total bytes a fetch of this key must read: the blob plus every blob
+  /// on its base chain (== blob_bytes for a full image). This is what the
+  /// L2 read of a fetch wave charges.
+  std::uint64_t chain_bytes(int replica, int index, std::uint64_t epoch) const;
+
+  /// Number of blobs on the base chain of a key (1 for a full image, 0 if
+  /// absent). Agents cap this by forcing a periodic full flush.
+  std::uint64_t chain_length(int replica, int index,
+                             std::uint64_t epoch) const;
 
   /// Newest epoch for which EVERY role of EVERY replica has published —
   /// the only epochs a fetch wave may target. 0 = none.
@@ -89,21 +117,33 @@ class DurableTier {
   std::vector<std::uint64_t> epochs_present() const;
 
   /// Drop blobs of epochs older than `keep_from_epoch` (keeps the boundary
-  /// epoch itself, mirroring CheckpointVault::prune).
+  /// epoch itself, mirroring CheckpointVault::prune) — EXCEPT ancestors
+  /// that a kept delta blob's base chain still references, which must
+  /// survive until their last dependant is pruned.
   void prune(std::uint64_t keep_from_epoch);
 
   // --- lifetime counters (RunSummary / tests) -------------------------------
   std::uint64_t publishes() const { return publishes_; }
   std::uint64_t fetches() const { return fetches_; }
   std::uint64_t bytes_published() const { return bytes_published_; }
+  std::uint64_t delta_publishes() const { return delta_publishes_; }
 
  private:
+  struct Blob {
+    std::vector<std::byte> bytes;
+    std::uint64_t base_epoch = 0;  ///< 0 = self-contained
+  };
+
+  std::optional<StoredImage> decode_chain(int replica, int index,
+                                          std::uint64_t epoch, int depth);
+
   int replicas_;
   int roles_;
-  std::map<Key, std::vector<std::byte>> blobs_;
+  std::map<Key, Blob> blobs_;
   std::uint64_t publishes_ = 0;
   std::uint64_t fetches_ = 0;
   std::uint64_t bytes_published_ = 0;
+  std::uint64_t delta_publishes_ = 0;
 };
 
 }  // namespace acr::ckpt

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/codec.h"
 #include "pup/pup.h"
 
 namespace acr::ckpt {
@@ -45,6 +46,36 @@ StoredImage decode_stored_image(std::span<const std::byte> blob);
 
 /// Bytes encode_stored_image would produce for an image of `payload_bytes`.
 std::size_t encoded_image_bytes(std::size_t payload_bytes);
+
+/// A vault blob holding a codec DELTA frame instead of a full image: the
+/// format-v2 extension grown for the staged codec pipeline. The payload
+/// section is replaced by a chunk-map section (full size + per-chunk
+/// present flags) followed by the frame's encoded payload; decoding back
+/// to a StoredImage additionally needs the base epoch's full image.
+/// `base_epoch == 0` marks a v2 blob that is self-contained (a full-map
+/// frame — e.g. a compressed full image) and decodes without a base.
+struct DeltaBlob {
+  std::uint64_t epoch = 0;
+  std::uint64_t iteration = 0;
+  std::uint64_t base_epoch = 0;
+  CodecFrame frame;
+};
+
+/// Serialize a delta blob: v2 header + chunk map + payload + Fletcher-64
+/// trailer. Self-validating like the v1 format.
+std::vector<std::byte> encode_delta_image(const DeltaBlob& blob);
+
+/// Bytes encode_delta_image produces for a given frame.
+std::size_t encoded_delta_bytes(const CodecFrame& frame);
+
+/// Version-dispatching decode: a v1 blob yields a full StoredImage, a v2
+/// blob yields the delta. Throws pup::StreamError on corruption.
+struct DecodedBlob {
+  bool is_delta = false;
+  StoredImage full;  ///< valid when !is_delta
+  DeltaBlob delta;   ///< valid when is_delta
+};
+DecodedBlob decode_any_image(std::span<const std::byte> blob);
 
 class CheckpointVault {
  public:

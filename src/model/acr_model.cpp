@@ -183,6 +183,38 @@ SchemeEvaluation AcrModel::evaluate_at(Scheme scheme, double tau) const {
 }
 
 // ---------------------------------------------------------------------------
+// Checkpoint-codec extension.
+// ---------------------------------------------------------------------------
+
+double delta_cost_scale(const DeltaParams& d) {
+  ACR_REQUIRE(d.hit_rate >= 0.0 && d.hit_rate <= 1.0,
+              "hit_rate must be in [0, 1]");
+  ACR_REQUIRE(d.compress_ratio > 0.0, "compress_ratio must be positive");
+  ACR_REQUIRE(d.transfer_fraction >= 0.0 && d.transfer_fraction <= 1.0,
+              "transfer_fraction must be in [0, 1]");
+  double wire = d.map_overhead + (1.0 - d.hit_rate) * d.compress_ratio;
+  double scale = (1.0 - d.transfer_fraction) + d.transfer_fraction * wire;
+  // Even a perfect hit rate pays the digest pass; keep the scaled cost a
+  // valid model input.
+  return std::max(scale, 1e-6);
+}
+
+DeltaEvaluation AcrModel::evaluate_delta(Scheme scheme,
+                                         const DeltaParams& d) const {
+  DeltaEvaluation e;
+  e.cost_scale = delta_cost_scale(d);
+  e.full = evaluate(scheme);
+  SystemParams scaled = params_;
+  scaled.checkpoint_cost = params_.checkpoint_cost * e.cost_scale;
+  AcrModel with_codec(scaled);
+  e.delta = with_codec.evaluate(scheme);
+  if (!std::isinf(e.full.total_time) && !std::isinf(e.delta.total_time) &&
+      e.delta.total_time > 0.0)
+    e.speedup = e.full.total_time / e.delta.total_time;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
 // Durable-tier extension.
 // ---------------------------------------------------------------------------
 

@@ -67,6 +67,43 @@ struct TieredEvaluation {
   double speedup = 0.0;              ///< total_time_scratch / total_time
 };
 
+// ---------------------------------------------------------------------------
+// Checkpoint-codec extension: the staged pipeline ships only dirty chunks
+// (delta) and compresses what ships. Both scale the *transfer* share of the
+// checkpoint cost delta — pack and compare still walk the full image — so
+// the effective cost is
+//   d' = d * [(1 - f_t) + f_t * (m + (1 - h) * c)]
+// with f_t the transfer fraction, h the chunk hit rate, c the compression
+// ratio of shipped chunks and m the digest/map overhead. A cheaper delta
+// moves the optimal period earlier, which is where the win compounds: more
+// frequent checkpoints shrink every rework term too.
+// ---------------------------------------------------------------------------
+
+struct DeltaParams {
+  /// Fraction of chunks bit-identical to the base epoch (dropped from the
+  /// wire). Jacobi-like stencils trend high once the lattice settles;
+  /// MD-style codes with fully mixing state sit near 0.
+  double hit_rate = 0.0;
+  /// Encoded/raw size ratio of the chunks that do ship (1 = incompressible).
+  double compress_ratio = 1.0;
+  /// Digest pass + chunk map cost, as a fraction of the transfer share.
+  double map_overhead = 0.01;
+  /// Share of checkpoint_cost that is wire transfer (the part the codec
+  /// scales); the rest is pack + compare and stays fixed.
+  double transfer_fraction = 0.6;
+};
+
+struct DeltaEvaluation {
+  SchemeEvaluation full;    ///< codec off, at its own optimal period
+  SchemeEvaluation delta;   ///< scaled checkpoint cost, re-optimized period
+  double cost_scale = 1.0;  ///< d'/d
+  double speedup = 1.0;     ///< full.total_time / delta.total_time
+};
+
+/// d'/d for the given codec parameters (clamped to stay positive: even a
+/// 100% hit rate pays the digest pass and the map).
+double delta_cost_scale(const DeltaParams& d);
+
 class AcrModel {
  public:
   explicit AcrModel(const SystemParams& params);
@@ -111,6 +148,11 @@ class AcrModel {
   /// Tiered evaluation at the single-tier optimal period.
   TieredEvaluation evaluate_tiered(Scheme scheme,
                                    const TierParams& tier) const;
+
+  /// Codec-on vs codec-off comparison: both sides at their own numerically
+  /// optimal period, the codec side with checkpoint_cost scaled by
+  /// delta_cost_scale(d).
+  DeltaEvaluation evaluate_delta(Scheme scheme, const DeltaParams& d) const;
 
  private:
   SystemParams params_;

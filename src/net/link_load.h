@@ -62,6 +62,11 @@ class L2ChannelModel {
     std::uint64_t reads = 0;
     double bytes_written = 0.0;
     double bytes_read = 0.0;
+    /// Pre-codec image bytes the writes stood for. With the checkpoint
+    /// codec off this tracks the raw size of every image offered to the
+    /// pipe; with delta/compression on, bytes_written falls below it and
+    /// the gap is the codec's saving at the durable tier.
+    double bytes_raw_written = 0.0;
     /// Aggregate time operations spent waiting behind earlier I/O on the
     /// same node's pipe (queueing delay, not service time).
     double queue_wait = 0.0;
@@ -73,6 +78,10 @@ class L2ChannelModel {
   double write(int node, double now, double bytes);
   /// Same for a read (fetch path). Reads share the node's pipe with writes.
   double read(int node, double now, double bytes);
+
+  /// Account (without charging time for) the raw image bytes behind a
+  /// write sequence — called once per flush with the decoded size.
+  void note_raw_write(double bytes) { stats_.bytes_raw_written += bytes; }
 
   const Stats& stats() const { return stats_; }
   const L2Params& params() const { return params_; }

@@ -13,6 +13,20 @@
 // (tag, element count, payload). This is what lets the checker compare two
 // checkpoints *without* the live object, honour per-field floating point
 // tolerances, and skip fields the application marked replica-variant.
+//
+// Chunk-stable boundaries (the invariant the ckpt codec leans on): the
+// packed stream is a pure function of the traversed values — no timestamps,
+// addresses, map iteration hashes, padding garbage or alignment skips ever
+// reach the buffer, and record framing depends only on field types and
+// container sizes. Hence if an application mutates only part of its state
+// between epochs, every byte *before* the first changed field and every
+// byte *after* the last changed field (given unchanged container sizes) is
+// bit-identical across the two packs, at the same offsets. The codec's
+// 256 KiB chunk grid (checksum::kDigestChunk) exploits this: untouched
+// regions produce digest-identical chunks that incremental checkpoints
+// drop from the wire. Growing or shrinking a container shifts every later
+// offset — such epochs simply ship more chunks; correctness never depends
+// on stability, only the delta hit rate does.
 #pragma once
 
 #include <array>

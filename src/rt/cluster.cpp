@@ -37,6 +37,8 @@ const char* trace_kind_name(TraceKind k) {
     case TraceKind::FetchCompleted: return "fetch-completed";
     case TraceKind::DrainRequested: return "drain-requested";
     case TraceKind::DrainCompleted: return "drain-completed";
+    case TraceKind::DeltaShipped: return "delta-shipped";
+    case TraceKind::DeltaFallback: return "delta-fallback";
   }
   return "?";
 }

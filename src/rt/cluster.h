@@ -58,6 +58,8 @@ enum class TraceKind {
   FetchCompleted,       ///< L2 tier: a node restored from its durable image
   DrainRequested,       ///< halt control: flush-newest-and-stop requested
   DrainCompleted,       ///< halt control: newest epoch durable, job halted
+  DeltaShipped,         ///< codec: dirty-chunk frame sent instead of a full
+  DeltaFallback,        ///< codec: delta base unusable; full image requested
 };
 
 const char* trace_kind_name(TraceKind k);
@@ -71,6 +73,7 @@ const char* trace_kind_name(TraceKind k);
 enum TraceMask : std::uint32_t {
   kTraceSpareLifecycle = 1u << 0,  ///< SparePoolLow pool-minimum events
   kTraceTier = 1u << 1,            ///< L2 flush/fetch/drain events
+  kTraceCodec = 1u << 2,           ///< codec delta-shipped/fallback events
 };
 
 struct TraceEvent {
@@ -287,6 +290,8 @@ class Cluster {
   /// traffic is deterministic at any kernel-thread count.
   double l2_write(int pid, double bytes);
   double l2_read(int pid, double bytes);
+  /// Record the raw (pre-codec) size behind a flush; no time is charged.
+  void l2_note_raw(double bytes) { l2_channel_.note_raw_write(bytes); }
   const net::L2ChannelModel::Stats& l2_stats() const {
     return l2_channel_.stats();
   }

@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 
+#include "checksum/kernels.h"
 #include "common/rng.h"
 #include "pup/checker.h"
 #include "pup/pup.h"
@@ -268,6 +270,103 @@ TEST_P(CheckerBitFlip, SingleBitFlipAlwaysDetected) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CheckerBitFlip, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Chunk-stable pack boundaries (the invariant the ckpt codec leans on, see
+// the header comment of pup.h): repacking state whose mutation is local
+// perturbs only the bytes — and hence the 256 KiB digest chunks — that
+// cover the mutated fields.
+// ---------------------------------------------------------------------------
+
+struct BigState {
+  std::vector<double> lattice;  // spans several digest chunks
+  std::vector<std::uint64_t> meta;
+  std::string tag;
+  void pup(Puper& p) {
+    p | lattice;
+    p | meta;
+    p | tag;
+  }
+};
+
+BigState make_big(std::uint64_t seed) {
+  Pcg32 rng(seed, 17);
+  BigState s;
+  s.lattice.resize(150'000);  // 1.2 MB: 5 chunks of the 256 KiB grid
+  for (auto& v : s.lattice) v = rng.uniform();
+  s.meta.resize(64);
+  for (auto& m : s.meta) m = rng.next64();
+  s.tag = "epoch-state-" + std::to_string(seed);
+  return s;
+}
+
+TEST(PupChunkStability, RepackOfUnchangedStateIsBitIdentical) {
+  BigState s = make_big(1);
+  Checkpoint a = make_checkpoint(s);
+  Checkpoint b = make_checkpoint(s);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_TRUE(a.buffer().content_equals(b.buffer()));
+}
+
+TEST(PupChunkStability, LocalizedMutationPerturbsOnlyCoveringChunks) {
+  BigState s = make_big(2);
+  Checkpoint before = make_checkpoint(s);
+  // Mutate 8 adjacent lattice values in the middle of the array — 64 bytes
+  // of payload, which can straddle at most two digest chunks.
+  for (std::size_t i = 70'000; i < 70'008; ++i) s.lattice[i] += 1.0;
+  Checkpoint after = make_checkpoint(s);
+  ASSERT_EQ(before.size(), after.size());
+
+  std::vector<std::uint32_t> da =
+      checksum::crc32c_chunk_digests(before.bytes());
+  std::vector<std::uint32_t> db = checksum::crc32c_chunk_digests(after.bytes());
+  ASSERT_EQ(da.size(), db.size());
+  ASSERT_GE(da.size(), 4u) << "state must span several chunks for this test";
+  std::size_t dirty = 0;
+  for (std::size_t i = 0; i < da.size(); ++i) dirty += da[i] != db[i];
+  EXPECT_GE(dirty, 1u);
+  EXPECT_LE(dirty, 2u) << "a 64-byte mutation straddles at most two chunks";
+
+  // The bytes outside the dirty chunks are identical at identical offsets.
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    if (da[i] != db[i]) continue;
+    auto [lo, hi] = checksum::digest_chunk_range(before.size(), i);
+    EXPECT_EQ(std::memcmp(before.bytes().data() + lo, after.bytes().data() + lo,
+                          hi - lo),
+              0)
+        << "clean chunk " << i << " differs";
+  }
+}
+
+TEST(PupChunkStability, TailFieldsStayStableWhenEarlyFieldsChange) {
+  BigState s = make_big(3);
+  Checkpoint before = make_checkpoint(s);
+  s.lattice[0] = -123.5;  // first payload bytes of the stream
+  Checkpoint after = make_checkpoint(s);
+  ASSERT_EQ(before.size(), after.size());
+  // Everything after the first chunk is untouched: same types, same sizes,
+  // same values => same bytes at the same offsets.
+  std::size_t chunk = checksum::kDigestChunk;
+  ASSERT_GT(before.size(), 2 * chunk);
+  EXPECT_EQ(std::memcmp(before.bytes().data() + chunk,
+                        after.bytes().data() + chunk, before.size() - chunk),
+            0);
+}
+
+TEST(PupChunkStability, ContainerGrowthShiftsLaterOffsets) {
+  // The documented non-invariant: growing a container changes the stream
+  // length, so later chunks legitimately all change. Round-trip still holds.
+  BigState s = make_big(4);
+  Checkpoint before = make_checkpoint(s);
+  s.lattice.push_back(0.25);
+  Checkpoint after = make_checkpoint(s);
+  EXPECT_NE(before.size(), after.size());
+  BigState restored;
+  restore_checkpoint(restored, after);
+  EXPECT_EQ(restored.lattice, s.lattice);
+  EXPECT_EQ(restored.meta, s.meta);
+  EXPECT_EQ(restored.tag, s.tag);
+}
 
 }  // namespace
 }  // namespace acr::pup
