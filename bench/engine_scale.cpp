@@ -1,0 +1,184 @@
+// Event-engine scaling sweep: a PHOLD-style synthetic workload (ring of
+// logical nodes, each bouncing timestamped messages to itself and its
+// neighbors, plus watchdog cancel/rearm churn) run at 1k/16k/131k nodes
+// across engine lane counts. Two things are measured per point: wall time
+// (the perf trajectory, written to BENCH_engine.json) and a running digest
+// of every dispatch (node, sequence, time bits) — asserted bit-identical
+// across lane counts, which is the engine's determinism contract at the
+// scale the soak suites never reach.
+//
+// Speedup-vs-serial is honest wall clock on whatever host runs the bench:
+// on a single-core machine the laned engine wins (or loses) only by its
+// algorithmics (small in-window overflow heap, O(1) mailbox appends,
+// per-lane heaps a fraction of the global size), not by threads. host_cores
+// is recorded in the JSON so trajectories from different machines are not
+// compared blindly.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "rt/engine.h"
+
+using namespace acr;
+
+namespace {
+
+constexpr int kEventsPerNode = 16;
+constexpr double kMinDelay = 5e-6;    // also the conservative lookahead
+constexpr double kDelaySpread = 45e-6;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+struct PholdResult {
+  std::uint64_t digest = 0;
+  std::size_t events = 0;
+  std::uint64_t rounds = 0;
+  double wall_seconds = 0.0;
+};
+
+/// One PHOLD run: every node seeds one message; each dispatch folds
+/// (node, seq, time) into the digest, rearms the node's watchdog (cancel +
+/// reschedule, so the cancelled-set churns exactly as the cluster's
+/// heartbeat timers do), and forwards the message to itself or a ring
+/// neighbor with a node-local PCG delay. Event count, times, and digest
+/// depend only on the per-node RNG streams — never on the lane count.
+PholdResult run_phold(int nodes, int lanes) {
+  rt::Engine engine(lanes);
+  engine.set_lookahead(kMinDelay);
+
+  struct NodeState {
+    Pcg32 rng;
+    int remaining = kEventsPerNode;
+    std::uint64_t seq = 0;
+    rt::Engine::EventId watchdog = 0;
+  };
+  std::vector<NodeState> state(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n)
+    state[static_cast<std::size_t>(n)].rng =
+        Pcg32(0xEC5CA1E0ULL + static_cast<std::uint64_t>(n),
+              static_cast<std::uint64_t>(n) * 2 + 1);
+
+  std::uint64_t digest = 0;
+  std::function<void(int)> bounce = [&](int node) {
+    NodeState& s = state[static_cast<std::size_t>(node)];
+    std::uint64_t tbits;
+    double now = engine.now();
+    std::memcpy(&tbits, &now, sizeof tbits);
+    digest = mix(digest, static_cast<std::uint64_t>(node));
+    digest = mix(digest, ++s.seq);
+    digest = mix(digest, tbits);
+    // Watchdog churn: cancel the previous (pending or long-fired) timer and
+    // arm a fresh one past the end of the run.
+    engine.cancel(s.watchdog);
+    s.watchdog = engine.schedule_after(
+        10.0, [&digest, node] { digest = mix(digest, ~static_cast<std::uint64_t>(node)); },
+        static_cast<rt::Engine::LaneKey>(node));
+    if (--s.remaining <= 0) {
+      engine.cancel(s.watchdog);
+      s.watchdog = 0;
+      return;
+    }
+    double delay = kMinDelay + kDelaySpread * (s.rng.next() * 0x1p-32);
+    int dst = node;
+    std::uint32_t pick = s.rng.bounded(10);
+    if (pick < 2) dst = (node + 1) % nodes;                  // ring right
+    else if (pick < 3) dst = (node + nodes - 1) % nodes;     // ring left
+    engine.schedule_after(delay, [&bounce, dst] { bounce(dst); },
+                          static_cast<rt::Engine::LaneKey>(dst));
+  };
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (int n = 0; n < nodes; ++n) {
+    NodeState& s = state[static_cast<std::size_t>(n)];
+    double start = kMinDelay + kDelaySpread * (s.rng.next() * 0x1p-32);
+    engine.schedule_after(start, [&bounce, n] { bounce(n); },
+                          static_cast<rt::Engine::LaneKey>(n));
+  }
+  engine.run();
+  auto t1 = std::chrono::steady_clock::now();
+
+  PholdResult r;
+  r.digest = digest;
+  r.events = engine.events_processed();
+  r.rounds = engine.rounds();
+  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const int node_counts[] = {1024, 16384, 131072};
+  const int lane_counts[] = {1, 2, 4, 8};
+  unsigned cores = std::thread::hardware_concurrency();
+
+  std::printf("engine scaling sweep — PHOLD ring, %d events/node, host cores=%u\n\n",
+              kEventsPerNode, cores);
+  std::printf("%8s %6s %12s %10s %12s %10s\n", "nodes", "lanes", "events",
+              "rounds", "wall (s)", "speedup");
+
+  struct Point {
+    int nodes, lanes;
+    std::size_t events;
+    std::uint64_t rounds;
+    double wall, speedup;
+  };
+  std::vector<Point> points;
+  bool deterministic = true;
+
+  for (int nodes : node_counts) {
+    double serial_wall = 0.0;
+    std::uint64_t serial_digest = 0;
+    std::size_t serial_events = 0;
+    for (int lanes : lane_counts) {
+      PholdResult r = run_phold(nodes, lanes);
+      if (lanes == 1) {
+        serial_wall = r.wall_seconds;
+        serial_digest = r.digest;
+        serial_events = r.events;
+      } else if (r.digest != serial_digest || r.events != serial_events) {
+        deterministic = false;
+        std::printf("DETERMINISM VIOLATION at nodes=%d lanes=%d\n", nodes,
+                    lanes);
+      }
+      double speedup = r.wall_seconds > 0.0 ? serial_wall / r.wall_seconds : 0.0;
+      std::printf("%8d %6d %12zu %10llu %12.4f %9.2fx\n", nodes, lanes,
+                  r.events, static_cast<unsigned long long>(r.rounds),
+                  r.wall_seconds, speedup);
+      points.push_back(
+          {nodes, lanes, r.events, r.rounds, r.wall_seconds, speedup});
+    }
+    std::printf("\n");
+  }
+
+  std::FILE* out = std::fopen("BENCH_engine.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n \"config\": \"phold-ring events_per_node=%d "
+                 "min_delay=%g spread=%g\",\n \"host_cores\": %u,\n"
+                 " \"deterministic\": %s,\n \"points\": [\n",
+                 kEventsPerNode, kMinDelay, kDelaySpread, cores,
+                 deterministic ? "true" : "false");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      std::fprintf(out,
+                   "  {\"nodes\": %d, \"lanes\": %d, \"events_processed\": "
+                   "%zu, \"rounds\": %llu, \"wall_seconds\": %.6f, "
+                   "\"speedup_vs_serial\": %.4f}%s\n",
+                   p.nodes, p.lanes, p.events,
+                   static_cast<unsigned long long>(p.rounds), p.wall,
+                   p.speedup, i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(out, " ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_engine.json\n");
+  }
+  return deterministic ? 0 : 1;
+}

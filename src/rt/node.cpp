@@ -21,10 +21,12 @@ class NodeTaskContext final : public TaskContext {
     std::uint64_t inc = node_.incarnation();
     Node* node = &node_;
     node_.cluster().engine().schedule_after(
-        seconds, [node, inc, fn = std::move(fn)]() {
+        seconds,
+        [node, inc, fn = std::move(fn)]() {
           // A kill or rollback in the meantime invalidates the continuation.
           if (node->alive() && node->incarnation() == inc) fn();
-        });
+        },
+        static_cast<Engine::LaneKey>(node_.physical_id()));
   }
 
   void notify_done() override {
@@ -104,9 +106,12 @@ void Node::start_tasks() {
   std::uint64_t inc = incarnation_;
   for (std::size_t slot = 0; slot < tasks_.size(); ++slot) {
     Task* t = tasks_[slot].get();
-    cluster_.engine().schedule_after(0.0, [this, t, inc]() {
-      if (alive_ && incarnation_ == inc) t->on_start();
-    });
+    cluster_.engine().schedule_after(
+        0.0,
+        [this, t, inc]() {
+          if (alive_ && incarnation_ == inc) t->on_start();
+        },
+        static_cast<Engine::LaneKey>(physical_id_));
   }
 }
 
@@ -116,9 +121,12 @@ void Node::unpause_task(int slot) {
   paused_[s] = false;
   Task* t = tasks_.at(s).get();
   std::uint64_t inc = incarnation_;
-  cluster_.engine().schedule_after(0.0, [this, t, inc]() {
-    if (alive_ && incarnation_ == inc) t->on_resume();
-  });
+  cluster_.engine().schedule_after(
+      0.0,
+      [this, t, inc]() {
+        if (alive_ && incarnation_ == inc) t->on_resume();
+      },
+      static_cast<Engine::LaneKey>(physical_id_));
 }
 
 void Node::unpause_all() {
@@ -163,9 +171,12 @@ void Node::resume_all_tasks() {
   for (std::size_t slot = 0; slot < tasks_.size(); ++slot) {
     paused_[slot] = false;
     Task* t = tasks_[slot].get();
-    cluster_.engine().schedule_after(0.0, [this, t, inc]() {
-      if (alive_ && incarnation_ == inc) t->on_resume();
-    });
+    cluster_.engine().schedule_after(
+        0.0,
+        [this, t, inc]() {
+          if (alive_ && incarnation_ == inc) t->on_resume();
+        },
+        static_cast<Engine::LaneKey>(physical_id_));
   }
 }
 

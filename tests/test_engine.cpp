@@ -1,5 +1,11 @@
-// Virtual-time event engine tests.
+// Virtual-time event engine tests. These run against whatever lane count
+// ACR_ENGINE_LANES selects (CI exercises both serial and laned), so every
+// assertion here is part of the serial-equivalence contract.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "rt/engine.h"
 
@@ -142,6 +148,49 @@ TEST(Engine, DispatchNeverCopiesHandlers) {
   EXPECT_EQ(copies, copies_after_scheduling);  // zero copies during dispatch
 }
 
+TEST(Engine, RejectsNonFiniteTimes) {
+  // A NaN deadline is unordered against everything: heap sifts disagree
+  // about where it belongs and the queue silently corrupts. Must throw.
+  Engine e;
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(e.schedule_at(nan, [] {}), RequireError);
+  EXPECT_THROW(e.schedule_at(inf, [] {}), RequireError);
+  EXPECT_THROW(e.schedule_at(-inf, [] {}), RequireError);
+  EXPECT_THROW(e.schedule_after(nan, [] {}), RequireError);
+  EXPECT_THROW(e.schedule_after(inf, [] {}), RequireError);
+  EXPECT_THROW(e.schedule_after(-1.0, [] {}), RequireError);
+  // The queue is still intact after the rejections.
+  bool fired = false;
+  e.schedule_at(1.0, [&] { fired = true; });
+  e.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, RunUntilCancelledEventExactlyAtBoundary) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] { ++fired; });
+  auto at_boundary = e.schedule_at(2.0, [&] { ++fired; });
+  e.schedule_at(2.0, [&] { ++fired; });  // survivor at the same instant
+  e.schedule_at(3.0, [&] { ++fired; });
+  e.cancel(at_boundary);
+  EXPECT_EQ(e.run_until(2.0), 2u);  // boundary-cancelled event not counted
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, RunUntilEmptyQueueFastPath) {
+  Engine e;
+  EXPECT_EQ(e.run_until(7.0), 0u);
+  EXPECT_DOUBLE_EQ(e.now(), 7.0);
+  EXPECT_EQ(e.events_processed(), 0u);
+  // And again from a non-zero clock with nothing scheduled since.
+  EXPECT_EQ(e.run_until(9.0), 0u);
+  EXPECT_DOUBLE_EQ(e.now(), 9.0);
+}
+
 TEST(Engine, CancelBacklogStaysBoundedForFiredIds) {
   // Watchdogs cancel() timer ids that often fired long ago. The tracked-id
   // set must not grow without bound over a long run.
@@ -160,6 +209,37 @@ TEST(Engine, CancelBacklogStaysBoundedForFiredIds) {
   e.cancel(pending);
   e.run();
   EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelAfterFireHammerHoldsTheDocumentedBound) {
+  // Adversarial interleaving: keep a live pending population while
+  // relentlessly cancelling ids that already fired. After every cancel the
+  // backlog must respect the prune heuristic's own constants — it may
+  // exceed the slack-factor line only until the next cancel crosses it.
+  Engine e;
+  std::vector<Engine::EventId> fired_ids;
+  std::vector<Engine::EventId> live_ids;
+  double t = 0.0;
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 25; ++i)
+      fired_ids.push_back(e.schedule_at(t + 0.1 + i * 0.01, [] {}));
+    // A standing population of far-future events keeps pending() > 0 so
+    // prunes cannot rely on the empty-queue degenerate case.
+    for (int i = 0; i < 5; ++i)
+      live_ids.push_back(e.schedule_at(t + 1000.0, [] {}));
+    t += 1.0;
+    e.run_until(t);  // the 25 near events fire; the far ones stay pending
+    for (Engine::EventId id : fired_ids) e.cancel(id);  // all stale now
+    std::size_t bound =
+        std::max(Engine::kCancelPruneMinBacklog,
+                 Engine::kCancelPruneSlackFactor * e.pending()) +
+        1;  // +1: the cancel that crosses the line is counted before pruning
+    EXPECT_LE(e.cancelled_backlog(), bound) << "round " << round;
+  }
+  // The far-future population was never cancelled: it must all still fire.
+  std::size_t before = e.events_processed();
+  e.run();
+  EXPECT_EQ(e.events_processed() - before, live_ids.size());
 }
 
 }  // namespace
