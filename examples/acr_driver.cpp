@@ -35,7 +35,8 @@ int main(int argc, char** argv) {
   std::string ckpt_scheme = "partner";
   std::string ckpt_delta = "off";
   std::string ckpt_compress = "none";
-  int xor_group_size = -1;  // sentinel: unset; defaults to 4 under xor
+  int xor_group_size = -1;  // sentinel: unset; defaults to 4 under xor/rs
+  int rs_parity = -1;       // sentinel: unset; defaults to 2 under rs
   int nodes = 8;
   int spares = 4;
   int iterations = 60;
@@ -76,9 +77,10 @@ int main(int argc, char** argv) {
                  "recovery scheme (§2.3)");
   cli.add_choice("detection", &detection, {"full", "checksum"},
                  "SDC detection method (§4.2)");
-  cli.add_choice("ckpt-scheme", &ckpt_scheme, {"local", "partner", "xor"},
+  cli.add_choice("ckpt-scheme", &ckpt_scheme, {"local", "partner", "xor", "rs"},
                  "checkpoint redundancy: local (in-memory only), partner "
-                 "(buddy copy, the paper's §2.1), xor (RAID-5 group parity)");
+                 "(buddy copy, the paper's §2.1), xor (RAID-5 group parity), "
+                 "rs (Reed-Solomon: any --rs-parity losses per group)");
   cli.add_choice("ckpt-delta", &ckpt_delta, {"off", "on"},
                  "incremental checkpoints: ship only 256 KiB chunks whose "
                  "CRC32C changed since the base epoch (buddy transfer, xor "
@@ -87,8 +89,12 @@ int main(int argc, char** argv) {
                  "per-chunk deterministic LZ compression of checkpoint "
                  "traffic (composes with --ckpt-delta)");
   cli.add_int("xor-group-size", &xor_group_size,
-              "nodes per xor parity group (>= 2; a trailing remainder of 1 "
-              "is merged into the previous group; default 4)");
+              "nodes per xor/rs parity group (>= 2; a trailing remainder of "
+              "1 is merged into the previous group; default 4)");
+  cli.add_int("rs-parity", &rs_parity,
+              "parity blocks per Reed-Solomon stripe: the group survives "
+              "that many dead members (>= 1, < the smallest group's size; "
+              "default 2; requires --ckpt-scheme=rs)");
   cli.add_int("nodes", &nodes, "nodes per replica");
   cli.add_int("spares", &spares, "spare node pool size");
   cli.add_int("iterations", &iterations, "application iterations");
@@ -261,14 +267,21 @@ int main(int argc, char** argv) {
                             : kernel_impl == "hw" ? checksum::KernelImpl::Hw
                                                   : checksum::KernelImpl::Auto);
   parallel::set_global_threads(kernel_threads);
-  if (xor_group_size != -1 && ckpt_scheme != "xor") {
+  if (xor_group_size != -1 && ckpt_scheme != "xor" && ckpt_scheme != "rs") {
     std::fprintf(stderr,
                  "error: --xor-group-size only applies to --ckpt-scheme=xor "
+                 "or rs (got --ckpt-scheme=%s)\n",
+                 ckpt_scheme.c_str());
+    return 2;
+  }
+  if (rs_parity != -1 && ckpt_scheme != "rs") {
+    std::fprintf(stderr,
+                 "error: --rs-parity only applies to --ckpt-scheme=rs "
                  "(got --ckpt-scheme=%s)\n",
                  ckpt_scheme.c_str());
     return 2;
   }
-  if (ckpt_scheme == "xor") {
+  if (ckpt_scheme == "xor" || ckpt_scheme == "rs") {
     if (xor_group_size == -1) xor_group_size = 4;
     if (xor_group_size < 2) {
       // An explicit 0 used to be swallowed as "unset" and silently became
@@ -284,6 +297,13 @@ int main(int argc, char** argv) {
                    "error: --xor-group-size=%d exceeds --nodes=%d (a group "
                    "cannot span more nodes than the replica has)\n",
                    xor_group_size, nodes);
+      return 2;
+    }
+  }
+  if (ckpt_scheme == "rs") {
+    if (rs_parity == -1) rs_parity = 2;
+    if (rs_parity < 1) {
+      std::fprintf(stderr, "error: --rs-parity=%d must be >= 1\n", rs_parity);
       return 2;
     }
   }
@@ -305,6 +325,7 @@ int main(int argc, char** argv) {
   ac.heartbeat_timeout = 0.002;
   ac.redundancy = ckpt_scheme == "local"   ? ckpt::Scheme::Local
                   : ckpt_scheme == "xor"   ? ckpt::Scheme::Xor
+                  : ckpt_scheme == "rs"    ? ckpt::Scheme::Rs
                                            : ckpt::Scheme::Partner;
   ac.degrade = degrade == "shrink" ? DegradeMode::Shrink : DegradeMode::Abort;
   ac.codec.delta =
@@ -312,6 +333,7 @@ int main(int argc, char** argv) {
   ac.codec.compress =
       ckpt_compress == "lz" ? ckpt::CompressMode::Lz : ckpt::CompressMode::None;
   if (xor_group_size > 0) ac.xor_group_size = xor_group_size;
+  if (rs_parity > 0) ac.rs_parity = rs_parity;
   ac.tier.bandwidth = l2_bandwidth;
   if (!std::isnan(l2_latency)) ac.tier.latency = l2_latency;
   if (flush_interval > 0)
@@ -485,6 +507,17 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(s.parity_chunks_sent),
           static_cast<unsigned long long>(s.parity_bytes_sent),
           static_cast<unsigned long long>(s.xor_rebuilds));
+    if (ac.redundancy == ckpt::Scheme::Rs)
+      std::printf(
+          " group-size=%d parity=%d  encode chunks=%llu bytes=%llu  "
+          "rebuild pieces=%llu bytes=%llu  rebuilds=%llu rejected=%llu",
+          ac.xor_group_size, ac.rs_parity,
+          static_cast<unsigned long long>(s.parity_chunks_sent),
+          static_cast<unsigned long long>(s.parity_bytes_sent),
+          static_cast<unsigned long long>(s.parity_rebuild_pieces),
+          static_cast<unsigned long long>(s.parity_rebuild_bytes),
+          static_cast<unsigned long long>(s.xor_rebuilds),
+          static_cast<unsigned long long>(s.parity_rebuilds_rejected));
     std::printf("\n");
   }
   // Only printed when a codec stage is on: keeps codec-off output
@@ -504,6 +537,11 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.codec_need_full));
     if (ac.redundancy == ckpt::Scheme::Xor)
       std::printf("codec xor: delta chunks=%llu bytes=%llu poisoned=%llu\n",
+                  static_cast<unsigned long long>(s.parity_delta_chunks),
+                  static_cast<unsigned long long>(s.parity_delta_bytes),
+                  static_cast<unsigned long long>(s.parity_rounds_poisoned));
+    if (ac.redundancy == ckpt::Scheme::Rs)
+      std::printf("codec rs: delta chunks=%llu bytes=%llu poisoned=%llu\n",
                   static_cast<unsigned long long>(s.parity_delta_chunks),
                   static_cast<unsigned long long>(s.parity_delta_bytes),
                   static_cast<unsigned long long>(s.parity_rounds_poisoned));

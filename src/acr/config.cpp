@@ -51,6 +51,34 @@ const char* validate_redundancy_config(const AcrConfig& config,
       if (nodes_per_replica < 2)
         return "xor redundancy needs at least 2 nodes per replica";
       return nullptr;
+    case ckpt::Scheme::Rs:
+      if (config.scheme != ResilienceScheme::Strong)
+        return "rs redundancy requires the strong resilience scheme (its "
+               "group rebuild replaces the Fig. 4a buddy transfer)";
+      if (config.xor_group_size < 2)
+        return "rs group size must be at least 2 (a one-node group has no "
+               "parity peers)";
+      if (config.rs_parity < 1)
+        return "rs parity must be at least 1";
+      if (nodes_per_replica < 2)
+        return "rs redundancy needs at least 2 nodes per replica";
+      {
+        // Every member needs at least one DATA chunk, in every group — and
+        // GroupMap lets a trailing remainder of >= 2 nodes stand alone as a
+        // smaller group, which is then the binding constraint.
+        int rem = nodes_per_replica % config.xor_group_size;
+        int min_group = rem >= 2 ? rem : config.xor_group_size;
+        if (nodes_per_replica < min_group) min_group = nodes_per_replica;
+        if (config.rs_parity >= min_group)
+          return "rs parity must be smaller than every parity group's size "
+                 "(note the trailing remainder group can be smaller than "
+                 "--xor-group-size)";
+      }
+      // GroupMap merges a remainder group of one into its predecessor, so
+      // a group can be one node wider than configured.
+      if (config.xor_group_size + 1 + config.rs_parity > 256)
+        return "rs group size + parity must fit the GF(256) label space";
+      return nullptr;
   }
   return "unknown redundancy scheme";
 }

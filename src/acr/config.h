@@ -44,10 +44,15 @@ struct AcrConfig {
   /// DEFINED by cross-replica checkpoint shipping. See
   /// validate_redundancy_config().
   ckpt::Scheme redundancy = ckpt::Scheme::Partner;
-  /// Parity group width under Xor: >= 2, groups never span replicas. A
-  /// remainder group of one node is merged into the preceding group
-  /// (ckpt::GroupMap).
+  /// Parity group width under Xor and Rs: >= 2, groups never span
+  /// replicas. A remainder group of one node is merged into the preceding
+  /// group (ckpt::GroupMap).
   int xor_group_size = 4;
+  /// Parity blocks per stripe under Rs: any `rs_parity` dead members of a
+  /// group are rebuilt bitwise from the survivors (Reed–Solomon over
+  /// GF(256), ckpt/rs.h). Must be in [1, group size); group size + parity
+  /// must fit the 256-element field label space.
+  int rs_parity = 2;
 
   /// Periodic checkpointing (disabled in HardOnly mode regardless).
   bool periodic_checkpoints = true;

@@ -421,10 +421,10 @@ void Manager::start_recovery(int replica, int node_index) {
     restart_from_scratch();
     return;
   }
-  if (redundancy() == ckpt::Scheme::Xor) {
-    // Validation pins xor to the strong scheme; the rebuild replaces the
-    // Fig. 4a buddy transfer.
-    start_xor_recovery(replica, node_index);
+  if (redundancy() == ckpt::Scheme::Xor || redundancy() == ckpt::Scheme::Rs) {
+    // Validation pins xor/rs to the strong scheme; the group rebuild
+    // replaces the Fig. 4a buddy transfer.
+    start_group_recovery(replica, node_index);
     return;
   }
 
@@ -490,10 +490,64 @@ bool Manager::route_xor_rebuild(int replica, int node_index,
   return true;
 }
 
-void Manager::start_xor_recovery(int replica, int node_index) {
+bool Manager::route_rs_rebuild(int replica, int node_index,
+                               std::uint64_t barrier) {
+  const ckpt::GroupMap& groups = env_.cluster->ckpt_groups();
+  wire::RsRebuildCmd cmd;
+  cmd.barrier = barrier;
+  std::vector<int> survivors;
+  for (int i : groups.group_members(node_index)) {
+    if (i == node_index || dead_roles_.count({replica, i}))
+      cmd.dead_indices.push_back(i);
+    else
+      survivors.push_back(i);
+  }
+  if (static_cast<int>(cmd.dead_indices.size()) > env_.config->rs_parity)
+    return false;  // more losses than parity blocks: undecodable
+  // A survivor that is dead-but-unreported cannot feed a piece; bail to the
+  // ladder now rather than strand the wave (its report escalates anyway).
+  for (int i : survivors)
+    if (!env_.cluster->role_alive(replica, i)) return false;
+  for (int i : survivors)
+    env_.cluster->send_from_manager(replica, i, wire::kRsRebuildSend,
+                                    rt::pack_payload(cmd));
+  return true;
+}
+
+bool Manager::route_group_rebuild(int replica, int node_index,
+                                  std::uint64_t barrier) {
+  return redundancy() == ckpt::Scheme::Rs
+             ? route_rs_rebuild(replica, node_index, barrier)
+             : route_xor_rebuild(replica, node_index, barrier);
+}
+
+void Manager::start_group_recovery(int replica, int node_index) {
   if (verified_epoch_ == 0) {
     restart_from_scratch();
     return;
+  }
+  // Under rs a group absorbs up to rs_parity losses in ONE wave: a burst
+  // can drop a second member before its suspect report lands, and routing
+  // around it as if it were a survivor would strand the rebuild. Sweep the
+  // group for dead-but-unreported members and fold them into this wave —
+  // inserting them into dead_roles_ both widens route_rs_rebuild's dead
+  // set and makes handle_suspect_role drop their late reports. Xor keeps
+  // its single-loss budget: a second dead member fails the peer-count
+  // check in route_xor_rebuild and falls down the ladder.
+  std::vector<int> dead{node_index};
+  if (redundancy() == ckpt::Scheme::Rs) {
+    for (int i : env_.cluster->ckpt_groups().group_members(node_index)) {
+      auto role = std::make_pair(replica, i);
+      if (i == node_index || env_.cluster->role_alive(replica, i) ||
+          dead_roles_.count(role))
+        continue;
+      trace().record(now(), rt::TraceKind::HardFailureDetected, replica, i);
+      dead_roles_.insert(role);
+      ++hard_failures_;
+      if (env_.config->adaptive) adaptive_.on_failure(now());
+      if (!promote_and_install(replica, i)) return;
+      dead.push_back(i);
+    }
   }
   env_.cluster->bump_app_epoch(replica);
   done_nodes_[static_cast<std::size_t>(replica)].clear();
@@ -502,13 +556,13 @@ void Manager::start_xor_recovery(int replica, int node_index) {
   // else in the crashed replica rolls back locally, exactly as in the
   // partner flow. The rebuild never crosses replicas, so the buddy's
   // liveness is irrelevant here.
-  if (!route_xor_rebuild(replica, node_index, barrier)) {
+  if (!route_group_rebuild(replica, node_index, barrier)) {
     restart_from_scratch();
     return;
   }
   wire::RestoreCmdMsg roll{verified_epoch_, barrier};
   for (int j = 0; j < env_.cluster->nodes_per_replica(); ++j) {
-    if (j == node_index) continue;
+    if (std::find(dead.begin(), dead.end(), j) != dead.end()) continue;
     env_.cluster->send_from_manager(replica, j, wire::kRollbackHard,
                                     rt::pack_payload(roll));
   }
@@ -602,14 +656,16 @@ void Manager::escalate_rollback_all() {
       if (!env_.cluster->role_alive(r, i)) dead_roles_.insert({r, i});
   std::vector<std::pair<int, int>> dead(dead_roles_.begin(),
                                         dead_roles_.end());
-  if (redundancy() == ckpt::Scheme::Xor) {
-    // The rebuild is intra-replica: a buddy-pair loss is survivable, but
-    // two dead roles in one parity group are not (single-parity RAID-5).
+  if (redundancy() == ckpt::Scheme::Xor || redundancy() == ckpt::Scheme::Rs) {
+    // The rebuild is intra-replica: a buddy-pair loss is survivable, but a
+    // group can only lose as many members as it has parity blocks — one
+    // under xor (single-parity RAID-5), rs_parity under rs.
     const ckpt::GroupMap& groups = env_.cluster->ckpt_groups();
+    int budget = redundancy() == ckpt::Scheme::Rs ? env_.config->rs_parity : 1;
     std::map<std::pair<int, int>, int> dead_per_group;
     for (const auto& [r, i] : dead) ++dead_per_group[{r, groups.group_of(i)}];
     for (const auto& [group, count] : dead_per_group) {
-      if (count >= 2) {
+      if (count > budget) {
         restart_from_scratch();
         return;
       }
@@ -656,6 +712,9 @@ void Manager::escalate_rollback_all() {
   wire::RestoreCmdMsg roll{verified_epoch_, barrier_id};
   wire::BarrierMsg bar{barrier_id};
   int restores = 0;
+  // RS routes ONE command per group covering its whole dead set; don't
+  // re-route for the group's second dead member.
+  std::set<std::pair<int, int>> rs_routed_groups;
   for (int r = 0; r < 2; ++r) {
     for (int i = 0; i < env_.cluster->nodes_per_replica(); ++i) {
       bool was_dead =
@@ -667,6 +726,12 @@ void Manager::escalate_rollback_all() {
           // above guarantees they are all genuinely alive.
           bool routed = route_xor_rebuild(r, i, barrier_id);
           ACR_REQUIRE(routed, "xor escalation with an unrebuildable group");
+        } else if (redundancy() == ckpt::Scheme::Rs) {
+          const ckpt::GroupMap& groups = env_.cluster->ckpt_groups();
+          if (rs_routed_groups.insert({r, groups.group_of(i)}).second) {
+            bool routed = route_rs_rebuild(r, i, barrier_id);
+            ACR_REQUIRE(routed, "rs escalation with an unrebuildable group");
+          }
         } else {
           env_.cluster->send_from_manager(1 - r, i,
                                           wire::kSendVerifiedToBuddy,
@@ -958,8 +1023,9 @@ void Manager::on_message(const rt::Message& m) {
           }
           return;
         case ckpt::Scheme::Xor:
-          if (!route_xor_rebuild(m.src_replica, m.src.node_index,
-                                 need.barrier)) {
+        case ckpt::Scheme::Rs:
+          if (!route_group_rebuild(m.src_replica, m.src.node_index,
+                                   need.barrier)) {
             recovery_.reset();
             restart_from_scratch();
           }
@@ -971,17 +1037,19 @@ void Manager::on_message(const rt::Message& m) {
       }
       return;
     }
-    case wire::kXorRebuildImpossible: {
+    case wire::kXorRebuildImpossible:
+    case wire::kRsRebuildImpossible: {
       // A survivor (or the spare itself) found the rebuild unservable —
-      // parity exchange raced the failure, or pieces were inconsistent.
-      // Only the active wave may trigger the fallback; stragglers from an
-      // abandoned barrier are moot.
+      // parity exchange raced the failure, or pieces were inconsistent, or
+      // a reconstructed image failed its CRC check. Only the active wave
+      // may trigger the fallback; stragglers from an abandoned barrier are
+      // moot. restart_from_scratch tries the L2 fetch rung first.
       auto bar = rt::unpack_payload<wire::BarrierMsg>(m);
       if (recovery_ && bar.barrier == recovery_->barrier) {
         log_warn("acr.manager")
-            << "xor rebuild impossible (barrier " << bar.barrier
+            << "group rebuild impossible (barrier " << bar.barrier
             << ", reported by (" << m.src_replica << "," << m.src.node_index
-            << ")); degrading to scratch restart";
+            << ")); falling down the recovery ladder";
         recovery_.reset();
         restart_from_scratch();
       }

@@ -27,6 +27,27 @@ NodeAgent::NodeAgent(AcrEnv env, rt::Node& node)
   make_scheme();
 }
 
+namespace {
+
+// Wire-size discount for the verify-on-rebuild integrity tags: on a real
+// wire the CRC32C digests ride the frame header (the same charging rule
+// as the consensus-abort epoch tag), so their pup records — a tag+count
+// header per record plus the element bytes — are not charged as payload.
+// This keeps the xor wire model, and the saved driver baselines,
+// byte-identical to the pre-digest protocol; rs follows the same rule.
+constexpr std::size_t kPupRecordHeader =
+    sizeof(std::uint8_t) + sizeof(std::uint64_t);
+constexpr std::size_t kDigestScalarWireBytes =
+    kPupRecordHeader + sizeof(std::uint32_t);
+std::size_t digest_vector_wire_bytes(std::size_t n) {
+  std::size_t size_record = kPupRecordHeader + sizeof(std::uint64_t);
+  std::size_t array_record =
+      n > 0 ? kPupRecordHeader + n * sizeof(std::uint32_t) : 0;
+  return size_record + array_record;
+}
+
+}  // namespace
+
 void NodeAgent::make_scheme() {
   switch (env_.config->redundancy) {
     case ckpt::Scheme::Local:
@@ -40,27 +61,41 @@ void NodeAgent::make_scheme() {
       ACR_REQUIRE(groups.enabled(),
                   "xor redundancy requires cluster checkpoint groups");
       ckpt::XorScheme::Hooks hooks;
+      // The verify-on-rebuild CRC32C tags ride the frame header on a real
+      // wire (the same charging rule as the consensus-abort epoch tag), so
+      // they are discounted from the modelled payload — the xor wire
+      // timing stays identical to the pre-digest protocol, and rs charges
+      // its digests by the same rule.
       hooks.send_chunk = [this](int dst, const ckpt::XorChunkMsg& msg,
                                 buf::Buffer chunk) {
         ckpt::XorChunkMsg m = msg;
-        send_to_agent(replica_, dst, wire::kXorParityChunk,
-                      rt::pack_payload(m), /*bytes_on_wire=*/-1.0,
-                      std::move(chunk));
+        buf::Buffer pk = rt::pack_payload(m);
+        double wire = static_cast<double>(rt::kMessageHeaderBytes +
+                                          pk.size() + chunk.size() -
+                                          kDigestScalarWireBytes);
+        send_to_agent(replica_, dst, wire::kXorParityChunk, std::move(pk),
+                      wire, std::move(chunk));
       };
       hooks.send_delta_chunk = [this](int dst,
                                       const ckpt::XorDeltaChunkMsg& msg,
                                       buf::Buffer payload) {
         ckpt::XorDeltaChunkMsg m = msg;
+        buf::Buffer pk = rt::pack_payload(m);
+        double wire = static_cast<double>(rt::kMessageHeaderBytes +
+                                          pk.size() + payload.size() -
+                                          kDigestScalarWireBytes);
         send_to_agent(replica_, dst, wire::kXorParityDeltaChunk,
-                      rt::pack_payload(m), /*bytes_on_wire=*/-1.0,
-                      std::move(payload));
+                      std::move(pk), wire, std::move(payload));
       };
       hooks.send_piece = [this](int dst, const ckpt::XorPieceMsg& msg,
                                 buf::Buffer image) {
         ckpt::XorPieceMsg m = msg;
-        send_to_agent(replica_, dst, wire::kXorRebuildPiece,
-                      rt::pack_payload(m), /*bytes_on_wire=*/-1.0,
-                      std::move(image));
+        buf::Buffer pk = rt::pack_payload(m);
+        double wire = static_cast<double>(
+            rt::kMessageHeaderBytes + pk.size() + image.size() -
+            digest_vector_wire_bytes(m.member_digests.size()));
+        send_to_agent(replica_, dst, wire::kXorRebuildPiece, std::move(pk),
+                      wire, std::move(image));
       };
       hooks.report_impossible = [this](std::uint64_t barrier) {
         wire::BarrierMsg msg{barrier};
@@ -74,6 +109,57 @@ void NodeAgent::make_scheme() {
                                                   std::move(hooks));
       return;
     }
+    case ckpt::Scheme::Rs: {
+      const ckpt::GroupMap& groups = env_.cluster->ckpt_groups();
+      ACR_REQUIRE(groups.enabled(),
+                  "rs redundancy requires cluster checkpoint groups");
+      ckpt::RsScheme::Hooks hooks;
+      // Same header-riding rule for the integrity tags as the xor hooks
+      // above: digests are discounted from the modelled payload.
+      hooks.send_chunk = [this](int dst, const ckpt::RsChunkMsg& msg,
+                                buf::Buffer chunk) {
+        ckpt::RsChunkMsg m = msg;
+        buf::Buffer pk = rt::pack_payload(m);
+        double wire = static_cast<double>(rt::kMessageHeaderBytes +
+                                          pk.size() + chunk.size() -
+                                          kDigestScalarWireBytes);
+        send_to_agent(replica_, dst, wire::kRsParityChunk, std::move(pk),
+                      wire, std::move(chunk));
+      };
+      hooks.send_delta_chunk = [this](int dst,
+                                      const ckpt::RsDeltaChunkMsg& msg,
+                                      buf::Buffer payload) {
+        ckpt::RsDeltaChunkMsg m = msg;
+        buf::Buffer pk = rt::pack_payload(m);
+        double wire = static_cast<double>(rt::kMessageHeaderBytes +
+                                          pk.size() + payload.size() -
+                                          kDigestScalarWireBytes);
+        send_to_agent(replica_, dst, wire::kRsParityDeltaChunk,
+                      std::move(pk), wire, std::move(payload));
+      };
+      hooks.send_piece = [this](int dst, const ckpt::RsPieceMsg& msg,
+                                buf::Buffer image) {
+        ckpt::RsPieceMsg m = msg;
+        buf::Buffer pk = rt::pack_payload(m);
+        double wire = static_cast<double>(
+            rt::kMessageHeaderBytes + pk.size() + image.size() -
+            digest_vector_wire_bytes(m.member_digests.size()));
+        send_to_agent(replica_, dst, wire::kRsRebuildPiece, std::move(pk),
+                      wire, std::move(image));
+      };
+      hooks.report_impossible = [this](std::uint64_t barrier) {
+        wire::BarrierMsg msg{barrier};
+        send_to_manager(wire::kRsRebuildImpossible, rt::pack_payload(msg));
+      };
+      hooks.restore_rebuilt = [this](ckpt::Image img, std::uint64_t barrier) {
+        if (barrier <= last_restore_barrier_) return;  // wave already taken
+        restore_from(img, "rs rebuild", barrier);
+      };
+      scheme_ = std::make_unique<ckpt::RsScheme>(groups, index_,
+                                                 env_.config->rs_parity,
+                                                 std::move(hooks));
+      return;
+    }
   }
   ACR_REQUIRE(false, "unknown redundancy scheme");
 }
@@ -81,6 +167,11 @@ void NodeAgent::make_scheme() {
 ckpt::XorScheme* NodeAgent::xor_scheme() {
   if (scheme_->kind() != ckpt::Scheme::Xor) return nullptr;
   return static_cast<ckpt::XorScheme*>(scheme_.get());
+}
+
+ckpt::RsScheme* NodeAgent::rs_scheme() {
+  if (scheme_->kind() != ckpt::Scheme::Rs) return nullptr;
+  return static_cast<ckpt::RsScheme*>(scheme_.get());
 }
 
 std::vector<int> NodeAgent::child_indices() const {
@@ -124,7 +215,7 @@ void NodeAgent::rebind_role() {
   replica_ = node_.replica();
   index_ = node_.node_index();
   num_children_ = static_cast<int>(child_indices().size());
-  make_scheme();  // the xor layout keys chunk routing off the node index
+  make_scheme();  // the xor/rs layouts key chunk routing off the node index
   invalidate_codec_bases();  // bases belong to the role, not the hardware
 }
 
@@ -293,6 +384,15 @@ void NodeAgent::on_service_message(const rt::Message& m) {
         x->on_rebuild_request(cmd.dead_index, cmd.barrier, store_.verified());
       return;
     }
+    case wire::kRsRebuildSend: {
+      auto cmd = rt::unpack_payload<wire::RsRebuildCmd>(m);
+      if (ckpt::RsScheme* r = rs_scheme()) {
+        std::vector<int> dead(cmd.dead_indices.begin(),
+                              cmd.dead_indices.end());
+        r->on_rebuild_request(dead, cmd.barrier, store_.verified());
+      }
+      return;
+    }
     case wire::kTreeProgress:
       return handle_tree_progress(rt::unpack_payload<wire::ProgressMsg>(m),
                                   m.src.node_index);
@@ -327,6 +427,25 @@ void NodeAgent::on_service_message(const rt::Message& m) {
       if (msg.barrier <= last_restore_barrier_) return;  // wave already taken
       if (ckpt::XorScheme* x = xor_scheme())
         x->on_piece(m.src.node_index, msg, m.attachment);
+      return;
+    }
+    case wire::kRsParityChunk: {
+      auto msg = rt::unpack_payload<ckpt::RsChunkMsg>(m);
+      if (ckpt::RsScheme* r = rs_scheme())
+        r->on_chunk(m.src.node_index, msg, m.attachment);
+      return;
+    }
+    case wire::kRsParityDeltaChunk: {
+      auto msg = rt::unpack_payload<ckpt::RsDeltaChunkMsg>(m);
+      if (ckpt::RsScheme* r = rs_scheme())
+        r->on_delta_chunk(m.src.node_index, msg, m.attachment);
+      return;
+    }
+    case wire::kRsRebuildPiece: {
+      auto msg = rt::unpack_payload<ckpt::RsPieceMsg>(m);
+      if (msg.barrier <= last_restore_barrier_) return;  // wave already taken
+      if (ckpt::RsScheme* r = rs_scheme())
+        r->on_piece(m.src.node_index, msg, m.attachment);
       return;
     }
     default:

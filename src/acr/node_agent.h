@@ -27,6 +27,7 @@
 #include "acr/config.h"
 #include "acr/wire.h"
 #include "ckpt/redundancy.h"
+#include "ckpt/rs.h"
 #include "ckpt/store.h"
 #include "ckpt/tier.h"
 #include "pup/pup.h"
@@ -195,8 +196,10 @@ class NodeAgent final : public rt::NodeService {
 
   // Redundancy scheme plumbing.
   void make_scheme();
-  /// The scheme as XorScheme, or nullptr under local/partner.
+  /// The scheme as XorScheme, or nullptr under any other scheme.
   ckpt::XorScheme* xor_scheme();
+  /// The scheme as RsScheme, or nullptr under any other scheme.
+  ckpt::RsScheme* rs_scheme();
 
   // Heartbeats.
   void heartbeat_tick();

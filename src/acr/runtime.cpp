@@ -8,12 +8,14 @@
 namespace acr {
 
 namespace {
-/// The cluster's checkpoint-group map exists exactly when the xor scheme
-/// needs it; other schemes leave grouping disabled.
+/// The cluster's checkpoint-group map exists exactly when a group-parity
+/// scheme (xor/rs) needs it; other schemes leave grouping disabled.
 rt::ClusterConfig with_ckpt_groups(rt::ClusterConfig c,
                                    const AcrConfig& acr) {
-  c.ckpt_group_size =
-      acr.redundancy == ckpt::Scheme::Xor ? acr.xor_group_size : 0;
+  c.ckpt_group_size = acr.redundancy == ckpt::Scheme::Xor ||
+                              acr.redundancy == ckpt::Scheme::Rs
+                          ? acr.xor_group_size
+                          : 0;
   // The durable tier's cost model lives in the cluster (per-node busy-until
   // pipes turned into DES events); mirror the ACR-level knobs into it.
   if (acr.tier.enabled()) {
@@ -290,6 +292,9 @@ RunSummary AcrRuntime::run(double max_virtual_time) {
       s.parity_chunks_sent += rs.parity_chunks_sent;
       s.parity_bytes_sent += rs.parity_bytes_sent;
       s.xor_rebuilds += rs.rebuilds_completed;
+      s.parity_rebuild_pieces += rs.rebuild_pieces_sent;
+      s.parity_rebuild_bytes += rs.rebuild_bytes_sent;
+      s.parity_rebuilds_rejected += rs.rebuilds_rejected;
       s.parity_delta_chunks += rs.parity_delta_chunks_sent;
       s.parity_delta_bytes += rs.parity_delta_bytes_sent;
       s.parity_rounds_poisoned += rs.parity_rounds_poisoned;

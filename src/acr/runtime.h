@@ -64,12 +64,17 @@ struct RunSummary {
   std::uint64_t net_stale_epoch_drops = 0;  ///< app msgs from stale epochs
   std::uint64_t net_link_failures = 0;      ///< retry budgets exhausted
   // Checkpoint redundancy (ckpt::RedundancyScheme). The parity counters
-  // stay zero except under the xor scheme; they aggregate over the agents
-  // alive at completion.
+  // stay zero except under the xor/rs schemes; they aggregate over the
+  // agents alive at completion. Encode-side (steady-state parity exchange)
+  // and rebuild-side (recovery waves) wire traffic are kept separate so
+  // sweeps can report each scheme's cost structure accurately.
   const char* ckpt_scheme = "partner";
-  std::uint64_t parity_chunks_sent = 0;  ///< group parity chunks shipped
-  std::uint64_t parity_bytes_sent = 0;   ///< bytes of those chunks
+  std::uint64_t parity_chunks_sent = 0;  ///< encode: group parity chunks
+  std::uint64_t parity_bytes_sent = 0;   ///< encode: bytes of those chunks
   std::uint64_t xor_rebuilds = 0;        ///< images rebuilt from parity
+  std::uint64_t parity_rebuild_pieces = 0;  ///< rebuild: pieces shipped
+  std::uint64_t parity_rebuild_bytes = 0;   ///< rebuild: image+parity bytes
+  std::uint64_t parity_rebuilds_rejected = 0;  ///< rebuilds failing the CRC
   // Correlated-burst injection and the spare-pool lifecycle (all zero, and
   // spare_low_water = configured spares, unless a burst plan is set).
   std::uint64_t burst_seeds = 0;       ///< burst seed failures fired

@@ -26,6 +26,7 @@ enum Tag : int {
   kXorRebuildSend,           ///< xor recovery: survivor, feed the spare
   kFlushCommand,             ///< durable tier: drain your verified image to L2
   kFetchFromDurable,         ///< durable tier: restore from the L2 epoch
+  kRsRebuildSend,            ///< rs recovery: survivor, feed every spare
 
   // Agent -> agent.
   kTreeProgress = 200,  ///< max-progress reduction up the tree
@@ -39,6 +40,9 @@ enum Tag : int {
   kBuddyDeltaCheckpoint,  ///< codec frame: dirty chunks of the buddy image
   kBuddyNeedFull,         ///< receiver lost the delta base; re-send full
   kXorParityDeltaChunk,   ///< codec: XOR diff of the dirty slice ranges
+  kRsParityChunk,         ///< rs: data chunk for one of the receiver's stripes
+  kRsParityDeltaChunk,    ///< rs codec: diff of a chunk's dirty ranges
+  kRsRebuildPiece,        ///< rs: survivor's image + parity blocks for a spare
 
   // Agent -> manager.
   kReplicaQuiesced = 300,  ///< root: subtree fully paused, max progress known
@@ -52,6 +56,7 @@ enum Tag : int {
   kXorRebuildImpossible,   ///< xor rebuild cannot complete; scratch needed
   kFlushDone,              ///< node's verified image is published on L2
   kFetchFailed,            ///< L2 blob missing/corrupt; fetch wave must fall back
+  kRsRebuildImpossible,    ///< rs rebuild cannot complete; fall down the ladder
 };
 
 /// Reduction / broadcast payloads. All pup-able.
@@ -159,6 +164,19 @@ struct XorRebuildCmd {
   std::uint64_t barrier = 0;
   void pup(pup::Puper& p) {
     p | dead_index;
+    p | barrier;
+  }
+};
+
+/// Order to a surviving RS-group member: ship one rebuild piece (image +
+/// ALL parity blocks) to EACH promoted spare in `dead_indices`, under the
+/// given restore barrier. One command covers the group's whole dead set —
+/// the multi-loss solve happens at each spare independently.
+struct RsRebuildCmd {
+  std::vector<std::int32_t> dead_indices;
+  std::uint64_t barrier = 0;
+  void pup(pup::Puper& p) {
+    p | dead_indices;
     p | barrier;
   }
 };

@@ -7,6 +7,7 @@
 
 #include "checksum/crc32c.h"
 #include "checksum/fletcher.h"
+#include "checksum/gf256.h"
 #include "common/require.h"
 #include "parallel/pool.h"
 
@@ -170,6 +171,8 @@ bool hw_kernels_available() {
 void set_kernel_impl(KernelImpl impl) {
   g_requested.store(impl, std::memory_order_relaxed);
   g_update.store(resolve(impl), std::memory_order_release);
+  // The GF(256) erasure-code row kernel follows the same policy.
+  kernels::detail::gf256_set_row_impl(impl);
 }
 
 KernelImpl kernel_impl() {

@@ -19,6 +19,8 @@ const char* scheme_name(Scheme s) {
       return "partner";
     case Scheme::Xor:
       return "xor";
+    case Scheme::Rs:
+      return "rs";
   }
   return "?";
 }
@@ -79,6 +81,9 @@ void XorScheme::on_verified(const Image& img, const DeltaHints* hints) {
                hints->digests != nullptr && hints->base_digests != nullptr &&
                hints->digests->size() == hints->base_digests->size() &&
                img.epoch % kXorDeltaFullCadence != 1;
+  // Recorded alongside every chunk so a future rebuild of THIS image can be
+  // CRC-verified before promotion (verify-on-rebuild).
+  std::uint32_t digest = checksum::crc32c_chunked(img.image.bytes());
   if (!delta) {
     // One chunk per other group member: holder i receives chunk (i-me-1)
     // mod n of this node's image, as a zero-copy slice of the stored
@@ -91,6 +96,7 @@ void XorScheme::on_verified(const Image& img, const DeltaHints* hints) {
       msg.epoch = img.epoch;
       msg.iteration = img.iteration;
       msg.image_size = img.image.size();
+      msg.image_digest = digest;
       buf::Buffer chunk = img.image.buffer().slice(begin, end - begin);
       ++stats_.parity_chunks_sent;
       stats_.parity_bytes_sent += chunk.size();
@@ -113,6 +119,7 @@ void XorScheme::on_verified(const Image& img, const DeltaHints* hints) {
     msg.iteration = img.iteration;
     msg.base_epoch = hints->base_epoch;
     msg.image_size = img.image.size();
+    msg.image_digest = digest;
     // Dirty sub-ranges of this holder's slice: the digest grid's dirty
     // chunks intersected with [begin, end), adjacent runs merged. Offsets
     // are slice-relative — exactly the parity positions the holder folds.
@@ -165,6 +172,7 @@ void XorScheme::on_chunk(int src_index, const XorChunkMsg& msg,
   int rank = rank_of(src_index);
   PendingParity& b = building_[msg.epoch];
   if (b.sizes.empty()) b.sizes.assign(static_cast<std::size_t>(n_), 0);
+  if (b.digests.empty()) b.digests.assign(static_cast<std::size_t>(n_), 0);
   if (!b.contributed.insert(rank).second) return;  // duplicate chunk
   if (b.mode == PendingParity::Mode::Undecided)
     b.mode = PendingParity::Mode::Full;
@@ -175,6 +183,7 @@ void XorScheme::on_chunk(int src_index, const XorChunkMsg& msg,
   // positional, so the parity bytes are identical at any thread count.
   if (!b.poisoned) checksum::xor_fold_chunked(b.parity, chunk.bytes());
   b.sizes[static_cast<std::size_t>(rank)] = msg.image_size;
+  b.digests[static_cast<std::size_t>(rank)] = msg.image_digest;
   b.iteration = msg.iteration;
   finish_round_if_complete(msg.epoch, b);
 }
@@ -185,6 +194,7 @@ void XorScheme::on_delta_chunk(int src_index, const XorDeltaChunkMsg& msg,
   int rank = rank_of(src_index);
   PendingParity& b = building_[msg.epoch];
   if (b.sizes.empty()) b.sizes.assign(static_cast<std::size_t>(n_), 0);
+  if (b.digests.empty()) b.digests.assign(static_cast<std::size_t>(n_), 0);
   if (!b.contributed.insert(rank).second) return;  // duplicate contribution
   if (b.mode == PendingParity::Mode::Undecided) {
     if (complete_ && complete_->epoch == msg.base_epoch) {
@@ -195,6 +205,8 @@ void XorScheme::on_delta_chunk(int src_index, const XorDeltaChunkMsg& msg,
       b.parity = complete_->parity;
       b.sizes = complete_->sizes;
       b.sizes[static_cast<std::size_t>(my_rank_)] = 0;
+      b.digests = complete_->digests;
+      b.digests[static_cast<std::size_t>(my_rank_)] = 0;
     } else {
       b.mode = PendingParity::Mode::Delta;
       b.poisoned = true;  // nothing to seed from: wait for a full round
@@ -239,6 +251,7 @@ void XorScheme::on_delta_chunk(int src_index, const XorDeltaChunkMsg& msg,
     }
   }
   b.sizes[static_cast<std::size_t>(rank)] = msg.image_size;
+  b.digests[static_cast<std::size_t>(rank)] = msg.image_digest;
   b.iteration = msg.iteration;
   finish_round_if_complete(msg.epoch, b);
 }
@@ -261,6 +274,7 @@ void XorScheme::finish_round_if_complete(std::uint64_t epoch,
   done.iteration = b.iteration;
   done.parity = std::move(b.parity);
   done.sizes = std::move(b.sizes);
+  done.digests = std::move(b.digests);
   complete_ = std::move(done);
   // Stale rounds below the completed epoch can never finish.
   building_.erase(building_.begin(),
@@ -297,7 +311,9 @@ void XorScheme::on_rebuild_request(int dead_index, std::uint64_t barrier,
                  msg.parity.begin(),
                  [](std::byte b) { return static_cast<std::uint8_t>(b); });
   msg.member_sizes = complete_->sizes;
+  msg.member_digests = complete_->digests;
   ++stats_.rebuild_pieces_sent;
+  stats_.rebuild_bytes_sent += verified.image.size() + msg.parity.size();
   hooks_.send_piece(dead_index, msg, verified.image.buffer());
 }
 
@@ -313,6 +329,7 @@ void XorScheme::on_piece(int src_index, const XorPieceMsg& msg,
   piece.image = std::move(image);
   piece.parity = msg.parity;
   piece.member_sizes = msg.member_sizes;
+  piece.member_digests = msg.member_digests;
   rebuilds_[msg.barrier].insert({rank_of(src_index), std::move(piece)});
   try_reassemble(msg.barrier);
 }
@@ -357,6 +374,31 @@ void XorScheme::try_reassemble(std::uint64_t barrier) {
   }
   ACR_REQUIRE(rebuilt.size() == my_size,
               "reassembled image has the wrong size");
+  // Verify-on-rebuild: the survivors recorded this member's image CRC32C
+  // during the parity exchange; a reconstruction that does not match it
+  // (bit rot, a corrupted piece, inconsistent survivor state) must degrade
+  // to the manager's fallback ladder instead of silently promoting.
+  std::uint32_t want_digest = 0;
+  for (const auto& [rank, p] : pieces) {
+    if (p.member_digests.size() != static_cast<std::size_t>(n_)) continue;
+    std::uint32_t d = p.member_digests[static_cast<std::size_t>(my_rank_)];
+    if (want_digest == 0) want_digest = d;
+    if (d != 0 && d != want_digest) {
+      log_warn("ckpt.xor") << "rebuild pieces disagree on the image digest";
+      rebuilds_.erase(barrier);
+      ++stats_.rebuilds_rejected;
+      hooks_.report_impossible(barrier);
+      return;
+    }
+  }
+  if (want_digest != 0 &&
+      checksum::crc32c_chunked(rebuilt) != want_digest) {
+    log_warn("ckpt.xor") << "rebuilt image fails its CRC; refusing to promote";
+    rebuilds_.erase(barrier);
+    ++stats_.rebuilds_rejected;
+    hooks_.report_impossible(barrier);
+    return;
+  }
   Image img;
   img.valid = true;
   img.epoch = first.epoch;

@@ -47,7 +47,7 @@
 
 namespace acr::ckpt {
 
-enum class Scheme { Local, Partner, Xor };
+enum class Scheme { Local, Partner, Xor, Rs };
 
 const char* scheme_name(Scheme s);
 
@@ -56,11 +56,13 @@ const char* scheme_name(Scheme s);
 struct XorChunkMsg {
   std::uint64_t epoch = 0;
   std::uint64_t iteration = 0;
-  std::uint64_t image_size = 0;  ///< sender's full verified image size
+  std::uint64_t image_size = 0;    ///< sender's full verified image size
+  std::uint32_t image_digest = 0;  ///< CRC32C of the sender's full image
   void pup(pup::Puper& p) {
     p | epoch;
     p | iteration;
     p | image_size;
+    p | image_digest;
   }
 };
 
@@ -79,6 +81,7 @@ struct XorDeltaChunkMsg {
   std::uint64_t iteration = 0;
   std::uint64_t base_epoch = 0;   ///< epoch the diffs are taken against
   std::uint64_t image_size = 0;   ///< sender's full verified image size
+  std::uint32_t image_digest = 0; ///< CRC32C of the sender's full NEW image
   std::uint8_t encoding = 0;      ///< 0 raw, 1 lz (attachment payload)
   std::vector<std::uint64_t> offsets;  ///< slice-relative dirty range starts
   std::vector<std::uint64_t> lens;     ///< dirty range lengths
@@ -87,6 +90,7 @@ struct XorDeltaChunkMsg {
     p | iteration;
     p | base_epoch;
     p | image_size;
+    p | image_digest;
     p | encoding;
     p | offsets;
     p | lens;
@@ -123,6 +127,10 @@ struct XorPieceMsg {
   std::uint64_t image_size = 0;  ///< sender's verified image size
   std::vector<std::uint8_t> parity;        ///< sender's parity block
   std::vector<std::uint64_t> member_sizes; ///< image size per group rank
+  /// CRC32C per group rank, as recorded from the parity exchange; the
+  /// spare verifies its reconstruction against its own slot before
+  /// promoting (a bad rebuild degrades instead of silently installing).
+  std::vector<std::uint32_t> member_digests;
   void pup(pup::Puper& p) {
     p | epoch;
     p | iteration;
@@ -130,14 +138,20 @@ struct XorPieceMsg {
     p | image_size;
     p | parity;
     p | member_sizes;
+    p | member_digests;
   }
 };
 
 struct RedundancyStats {
+  // Encode-side wire traffic (the steady-state parity exchange).
   std::uint64_t parity_chunks_sent = 0;
   std::uint64_t parity_bytes_sent = 0;    ///< chunk bytes put on the wire
+  // Rebuild-side wire traffic (recovery waves only), kept separate so
+  // sweeps can report steady-state encode cost vs recovery cost per scheme.
   std::uint64_t rebuild_pieces_sent = 0;
+  std::uint64_t rebuild_bytes_sent = 0;   ///< piece payload bytes (image+parity)
   std::uint64_t rebuilds_completed = 0;   ///< images reassembled on this node
+  std::uint64_t rebuilds_rejected = 0;    ///< reconstructions failing the CRC
   // Codec (delta) counters — zero unless --ckpt-delta=on.
   std::uint64_t parity_delta_chunks_sent = 0;
   std::uint64_t parity_delta_bytes_sent = 0;  ///< diff payload bytes shipped
@@ -256,6 +270,7 @@ class XorScheme final : public RedundancyScheme {
     std::vector<std::byte> parity;
     std::uint64_t iteration = 0;
     std::vector<std::uint64_t> sizes;  ///< image size per rank (0 = self)
+    std::vector<std::uint32_t> digests;  ///< image CRC32C per rank (0 = self)
     // Codec bookkeeping: a round is uniformly full chunks or uniformly
     // deltas against ONE base epoch; anything else poisons it.
     enum class Mode : std::uint8_t { Undecided, Full, Delta };
@@ -268,6 +283,7 @@ class XorScheme final : public RedundancyScheme {
     std::uint64_t iteration = 0;
     std::vector<std::byte> parity;
     std::vector<std::uint64_t> sizes;
+    std::vector<std::uint32_t> digests;
   };
   struct Piece {
     std::uint64_t epoch = 0;
@@ -276,6 +292,7 @@ class XorScheme final : public RedundancyScheme {
     buf::Buffer image;
     std::vector<std::uint8_t> parity;
     std::vector<std::uint64_t> member_sizes;
+    std::vector<std::uint32_t> member_digests;
   };
 
   int rank_of(int node_index) const;

@@ -13,77 +13,28 @@
 
 #include "acr/runtime.h"
 #include "apps/jacobi3d.h"
-#include "checksum/fletcher.h"
-#include "failure/correlated.h"
+#include "soak_util.h"
 
 namespace acr {
 namespace {
 
-apps::Jacobi3DConfig soak_app() {
-  apps::Jacobi3DConfig cfg;
-  cfg.tasks_x = cfg.tasks_y = 2;
-  cfg.tasks_z = 4;
-  cfg.block_x = cfg.block_y = cfg.block_z = 4;
-  cfg.iterations = 40;
-  cfg.slots_per_node = 2;  // 8 nodes per replica
-  cfg.seconds_per_point = 1e-5;
-  return cfg;
-}
-
 AcrConfig soak_acr_config() {
-  AcrConfig ac;
-  ac.scheme = ResilienceScheme::Strong;
+  AcrConfig ac = soak::base_acr_config();
   ac.redundancy = ckpt::Scheme::Partner;
   ac.degrade = DegradeMode::Shrink;
-  ac.checkpoint_interval = 0.003;
-  ac.heartbeat_period = 0.0004;
-  ac.heartbeat_timeout = 0.0016;
   return ac;
 }
 
-std::uint64_t verified_digest(AcrRuntime& runtime) {
-  checksum::Fletcher64 f;
-  for (int i = 0; i < runtime.cluster().nodes_per_replica(); ++i) {
-    NodeAgent& a = runtime.agent_at(0, i);
-    NodeAgent& b = runtime.agent_at(1, i);
-    const NodeAgent& best = a.verified_epoch() >= b.verified_epoch() ? a : b;
-    f.append(best.verified_image());
-  }
-  return f.digest();
-}
-
-struct Reference {
-  std::uint64_t digest = 0;
-  double finish_time = 0.0;
-};
-
 /// Fault-free run fixing the expected answer and nominal duration.
-const Reference& reference() {
-  static Reference cached = [] {
-    apps::Jacobi3DConfig j = soak_app();
-    rt::ClusterConfig cc;
-    cc.nodes_per_replica = j.nodes_needed();
-    cc.spare_nodes = 0;
-    AcrRuntime runtime(soak_acr_config(), cc);
-    runtime.set_task_factory(j.factory());
-    runtime.setup();
-    RunSummary s = runtime.run(1e3);
-    ACR_REQUIRE(s.complete, "burst soak reference run must complete");
-    Reference ref;
-    ref.digest = verified_digest(runtime);
-    ref.finish_time = s.finish_time;
-    return ref;
-  }();
+const soak::Reference& reference() {
+  static soak::Reference cached = soak::make_reference(
+      soak::small_app(), soak_acr_config(),
+      "burst soak reference run must complete");
   return cached;
 }
 
-struct SoakOutcome {
-  RunSummary summary;
-  std::uint64_t digest = 0;
-};
-
-SoakOutcome soak_run(std::uint64_t seed, bool inject) {
-  apps::Jacobi3DConfig j = soak_app();
+soak::Outcome soak_run(std::uint64_t seed, bool inject) {
+  apps::Jacobi3DConfig j = soak::small_app();
   rt::ClusterConfig cc;
   cc.nodes_per_replica = j.nodes_needed();
   cc.spare_nodes = 2;  // a shallow pool: bursts WILL exhaust it
@@ -91,32 +42,16 @@ SoakOutcome soak_run(std::uint64_t seed, bool inject) {
   AcrRuntime runtime(soak_acr_config(), cc);
   runtime.set_task_factory(j.factory());
   runtime.setup();
-  if (inject) {
-    // A few rack-style bursts per nominal run, half the blade following
-    // each seed, repairs returning hardware well within the run.
-    failure::BurstConfig bc;
-    bc.seed_mtbf = reference().finish_time / 3.0;
-    bc.weibull_shape = 0.7;
-    bc.follow_prob = 0.5;
-    bc.window = 0.001;
-    bc.domain_size = 4;
-    bc.repair_mean = reference().finish_time / 5.0;
-    runtime.set_burst_plan(bc);
-  }
-  SoakOutcome out;
-  out.summary = runtime.run(/*max_virtual_time=*/30.0);
-  if (out.summary.complete) {
-    runtime.engine().run_until(out.summary.finish_time + 0.05);
-    out.digest = verified_digest(runtime);
-  }
-  return out;
+  if (inject)
+    runtime.set_burst_plan(soak::default_burst_config(reference().finish_time));
+  return soak::run_and_digest(runtime);
 }
 
 class BurstSoak : public ::testing::TestWithParam<int> {};
 
 TEST_P(BurstSoak, ShrinkToSurviveMakesForwardProgressBitwise) {
   std::uint64_t seed = 430000 + static_cast<std::uint64_t>(GetParam()) * 7717;
-  SoakOutcome o = soak_run(seed, /*inject=*/true);
+  soak::Outcome o = soak_run(seed, /*inject=*/true);
   ASSERT_TRUE(o.summary.complete)
       << "aborted or wedged at t=" << o.summary.finish_time << " (seed "
       << seed << ", kills=" << o.summary.burst_node_kills
@@ -134,7 +69,7 @@ class BurstSoakControl : public ::testing::TestWithParam<int> {};
 
 TEST_P(BurstSoakControl, CleanSeedsMatchReferenceBitwise) {
   std::uint64_t seed = 990000 + static_cast<std::uint64_t>(GetParam()) * 131;
-  SoakOutcome o = soak_run(seed, /*inject=*/false);
+  soak::Outcome o = soak_run(seed, /*inject=*/false);
   ASSERT_TRUE(o.summary.complete);
   EXPECT_EQ(o.summary.burst_node_kills, 0u);
   EXPECT_EQ(o.summary.roles_doubled, 0u);

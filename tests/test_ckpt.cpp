@@ -216,7 +216,12 @@ struct MiniGroup {
     };
     hooks.send_piece = [this, index](int dst, const XorPieceMsg& msg,
                                      buf::Buffer image) {
-      schemes[static_cast<std::size_t>(dst)]->on_piece(index, msg, image);
+      XorPieceMsg m = msg;
+      // In-flight parity corruption: structurally sound, algebraically
+      // wrong — only the verify-on-rebuild CRC can catch it.
+      if (corrupt_piece_from == index)
+        for (auto& b : m.parity) b = static_cast<std::uint8_t>(b ^ 0xFF);
+      schemes[static_cast<std::size_t>(dst)]->on_piece(index, m, image);
     };
     hooks.report_impossible = [this](std::uint64_t barrier) {
       impossible_barriers.push_back(barrier);
@@ -235,6 +240,7 @@ struct MiniGroup {
   std::uint64_t rebuilt_barrier = 0;
   bool duplicate_chunks = false;
   bool drop_chunks = false;
+  int corrupt_piece_from = -1;
 };
 
 std::vector<Image> exchange_epoch(MiniGroup& g, std::uint64_t epoch,
@@ -349,6 +355,25 @@ TEST(CkptXorScheme, ResetForgetsParity) {
   g.schemes[2]->reset();
   EXPECT_FALSE(g.schemes[2]->parity_complete_for(1));
   EXPECT_EQ(g.schemes[2]->redundancy_bytes(), 0u);
+}
+
+TEST(CkptXorScheme, CorruptedParityPieceIsRejectedNotPromoted) {
+  // Verify-on-rebuild: a survivor's parity block is flipped in flight.
+  // The spare's reconstruction fails the recorded CRC32C, is counted as
+  // rejected, and falls down the recovery ladder instead of silently
+  // installing garbage state.
+  MiniGroup g(4, 4);
+  std::vector<Image> images = exchange_epoch(g, 1, 73);
+  g.corrupt_piece_from = 2;
+  g.schemes[0] = g.make_scheme(0);
+  for (int i = 1; i < 4; ++i)
+    g.schemes[static_cast<std::size_t>(i)]->on_rebuild_request(0, 21,
+                                                               images[i]);
+  EXPECT_TRUE(g.rebuilt.empty()) << "corrupted rebuild was promoted";
+  ASSERT_FALSE(g.impossible_barriers.empty());
+  EXPECT_EQ(g.impossible_barriers[0], 21u);
+  EXPECT_EQ(g.schemes[0]->stats().rebuilds_rejected, 1u);
+  EXPECT_EQ(g.schemes[0]->stats().rebuilds_completed, 0u);
 }
 
 TEST(CkptXorScheme, StatsCountChunksAndRebuilds) {

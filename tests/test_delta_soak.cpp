@@ -19,34 +19,17 @@
 
 #include "acr/runtime.h"
 #include "apps/jacobi3d.h"
-#include "checksum/fletcher.h"
 #include "checksum/kernels.h"
-#include "failure/correlated.h"
 #include "failure/distributions.h"
+#include "soak_util.h"
 
 namespace acr {
 namespace {
 
-apps::Jacobi3DConfig soak_app() {
-  apps::Jacobi3DConfig cfg;
-  cfg.tasks_x = cfg.tasks_y = 2;
-  cfg.tasks_z = 4;
-  cfg.block_x = cfg.block_y = 24;
-  cfg.block_z = 24;  // ~110 KB per task, 4 tasks/node => image > 2 chunks
-  cfg.iterations = 30;
-  cfg.slots_per_node = 4;  // 4 nodes per replica
-  cfg.seconds_per_point = 2e-7;
-  return cfg;
-}
-
 AcrConfig soak_acr_config(bool codec) {
-  AcrConfig ac;
-  ac.scheme = ResilienceScheme::Strong;
+  AcrConfig ac = soak::base_acr_config();
   ac.redundancy = ckpt::Scheme::Partner;
   ac.degrade = DegradeMode::Shrink;
-  ac.checkpoint_interval = 0.003;
-  ac.heartbeat_period = 0.0004;
-  ac.heartbeat_timeout = 0.0016;
   ac.tier.bandwidth = 1e9;
   if (codec) {
     ac.codec.delta = ckpt::DeltaMode::On;
@@ -55,53 +38,22 @@ AcrConfig soak_acr_config(bool codec) {
   return ac;
 }
 
-std::uint64_t verified_digest(AcrRuntime& runtime) {
-  checksum::Fletcher64 f;
-  for (int i = 0; i < runtime.cluster().nodes_per_replica(); ++i) {
-    NodeAgent& a = runtime.agent_at(0, i);
-    NodeAgent& b = runtime.agent_at(1, i);
-    const NodeAgent& best = a.verified_epoch() >= b.verified_epoch() ? a : b;
-    f.append(best.verified_image());
-  }
-  return f.digest();
-}
-
-struct Reference {
-  std::uint64_t digest = 0;
-  double finish_time = 0.0;
-  std::size_t image_bytes = 0;
-};
-
 /// Fault-free, codec-off run fixing the expected answer (and checking the
 /// app is big enough to make delta meaningful).
-const Reference& reference() {
-  static Reference cached = [] {
-    apps::Jacobi3DConfig j = soak_app();
-    rt::ClusterConfig cc;
-    cc.nodes_per_replica = j.nodes_needed();
-    cc.spare_nodes = 0;
-    AcrRuntime runtime(soak_acr_config(/*codec=*/false), cc);
-    runtime.set_task_factory(j.factory());
-    runtime.setup();
-    RunSummary s = runtime.run(1e3);
-    ACR_REQUIRE(s.complete, "delta soak reference run must complete");
-    Reference ref;
-    ref.digest = verified_digest(runtime);
-    ref.finish_time = s.finish_time;
-    ref.image_bytes = runtime.agent_at(0, 0).verified_image().size();
-    return ref;
-  }();
+const soak::Reference& reference() {
+  static soak::Reference cached = soak::make_reference(
+      soak::multi_chunk_app(), soak_acr_config(/*codec=*/false),
+      "delta soak reference run must complete");
   return cached;
 }
 
 struct SoakOutcome {
-  RunSummary summary;
-  std::uint64_t digest = 0;
+  soak::Outcome out;
   bool hardware_annihilated = false;
 };
 
 SoakOutcome soak_run(std::uint64_t seed, bool codec) {
-  apps::Jacobi3DConfig j = soak_app();
+  apps::Jacobi3DConfig j = soak::multi_chunk_app();
   rt::ClusterConfig cc;
   cc.nodes_per_replica = j.nodes_needed();
   cc.spare_nodes = 2;
@@ -109,24 +61,11 @@ SoakOutcome soak_run(std::uint64_t seed, bool codec) {
   AcrRuntime runtime(soak_acr_config(codec), cc);
   runtime.set_task_factory(j.factory());
   runtime.setup();
-  failure::BurstConfig bc;
-  bc.seed_mtbf = reference().finish_time / 3.0;
-  bc.weibull_shape = 0.7;
-  bc.follow_prob = 0.5;
-  bc.window = 0.001;
-  bc.domain_size = 4;
-  bc.repair_mean = reference().finish_time / 5.0;
-  runtime.set_burst_plan(bc);
-  SoakOutcome out;
-  out.summary = runtime.run(/*max_virtual_time=*/30.0);
-  if (out.summary.complete) {
-    runtime.engine().run_until(out.summary.finish_time + 0.05);
-    out.digest = verified_digest(runtime);
-  }
-  for (const auto& e : runtime.trace().events())
-    if (e.detail.find("no surviving host") != std::string::npos)
-      out.hardware_annihilated = true;
-  return out;
+  runtime.set_burst_plan(soak::default_burst_config(reference().finish_time));
+  SoakOutcome o;
+  o.out = soak::run_and_digest(runtime);
+  o.hardware_annihilated = soak::hardware_annihilated(runtime);
+  return o;
 }
 
 TEST(DeltaSoak, ImagesSpanMultipleChunks) {
@@ -139,20 +78,21 @@ class DeltaSoak : public ::testing::TestWithParam<int> {};
 TEST_P(DeltaSoak, DeltaCompressRunsReachFaultFreeAnswerBitwise) {
   std::uint64_t seed = 910000 + static_cast<std::uint64_t>(GetParam()) * 7717;
   SoakOutcome o = soak_run(seed, /*codec=*/true);
-  if (!o.summary.complete) {
+  if (!o.out.summary.complete) {
     // Only tolerated when the burst wiped a whole replica's hardware AND
     // the codec-off pipeline aborts on this seed too: the codec must never
     // turn a survivable run into an abort.
     EXPECT_TRUE(o.hardware_annihilated)
-        << "seed " << seed << " aborted (kills=" << o.summary.burst_node_kills
-        << ", waves=" << o.summary.l2_fetch_waves << ")";
+        << "seed " << seed
+        << " aborted (kills=" << o.out.summary.burst_node_kills
+        << ", waves=" << o.out.summary.l2_fetch_waves << ")";
     SoakOutcome control = soak_run(seed, /*codec=*/false);
-    EXPECT_FALSE(control.summary.complete)
+    EXPECT_FALSE(control.out.summary.complete)
         << "seed " << seed
         << ": codec run aborted where the codec-off run completes";
   } else {
-    EXPECT_FALSE(o.summary.failed);
-    EXPECT_EQ(o.digest, reference().digest) << "seed " << seed;
+    EXPECT_FALSE(o.out.summary.failed);
+    EXPECT_EQ(o.out.digest, reference().digest) << "seed " << seed;
   }
 }
 
@@ -166,13 +106,13 @@ class DeltaSoakControl : public ::testing::TestWithParam<int> {};
 TEST_P(DeltaSoakControl, CodecOffControlMatchesReferenceBitwise) {
   std::uint64_t seed = 910000 + static_cast<std::uint64_t>(GetParam()) * 7717;
   SoakOutcome o = soak_run(seed, /*codec=*/false);
-  if (!o.summary.complete) {
+  if (!o.out.summary.complete) {
     EXPECT_TRUE(o.hardware_annihilated) << "seed " << seed;
     return;
   }
-  EXPECT_EQ(o.summary.codec_frames, 0u);
-  EXPECT_EQ(o.summary.l2_delta_blobs, 0u);
-  EXPECT_EQ(o.digest, reference().digest) << "seed " << seed;
+  EXPECT_EQ(o.out.summary.codec_frames, 0u);
+  EXPECT_EQ(o.out.summary.l2_delta_blobs, 0u);
+  EXPECT_EQ(o.out.digest, reference().digest) << "seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeltaSoakControl, ::testing::Range(0, 10));
@@ -182,7 +122,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DeltaSoakControl, ::testing::Range(0, 10));
 /// fixed seed; the restored node's codec bases are invalidated, its next
 /// buddy frame is a legacy full transfer, and the answer stays bitwise.
 TEST(DeltaSoak, FullImageFallbackAfterBaseLoss) {
-  apps::Jacobi3DConfig j = soak_app();
+  apps::Jacobi3DConfig j = soak::multi_chunk_app();
   rt::ClusterConfig cc;
   cc.nodes_per_replica = j.nodes_needed();
   cc.spare_nodes = 2;
@@ -195,14 +135,13 @@ TEST(DeltaSoak, FullImageFallbackAfterBaseLoss) {
       std::make_shared<failure::Exponential>(reference().finish_time / 2.0));
   plan.sdc_fraction = 0.0;  // hard failures: the base-loss trigger
   runtime.set_fault_plan(plan);
-  RunSummary s = runtime.run(/*max_virtual_time=*/30.0);
-  ASSERT_TRUE(s.complete);
-  EXPECT_GE(s.recoveries, 1u) << "drill needs at least one restore";
-  runtime.engine().run_until(s.finish_time + 0.05);
-  EXPECT_EQ(verified_digest(runtime), reference().digest);
+  soak::Outcome o = soak::run_and_digest(runtime);
+  ASSERT_TRUE(o.summary.complete);
+  EXPECT_GE(o.summary.recoveries, 1u) << "drill needs at least one restore";
+  EXPECT_EQ(o.digest, reference().digest);
   // The recovery forced at least one legacy full transfer while the codec
   // was on: frames stop, then resume once a new base is re-established.
-  EXPECT_GT(s.codec_frames, 0u);
+  EXPECT_GT(o.summary.codec_frames, 0u);
 }
 
 }  // namespace

@@ -15,80 +15,35 @@
 
 #include "acr/runtime.h"
 #include "apps/jacobi3d.h"
-#include "checksum/fletcher.h"
-#include "failure/correlated.h"
+#include "soak_util.h"
 
 namespace acr {
 namespace {
 
-apps::Jacobi3DConfig soak_app() {
-  apps::Jacobi3DConfig cfg;
-  cfg.tasks_x = cfg.tasks_y = 2;
-  cfg.tasks_z = 4;
-  cfg.block_x = cfg.block_y = cfg.block_z = 4;
-  cfg.iterations = 40;
-  cfg.slots_per_node = 2;  // 8 nodes per replica
-  cfg.seconds_per_point = 1e-5;
-  return cfg;
-}
-
 AcrConfig soak_acr_config(bool tier) {
-  AcrConfig ac;
-  ac.scheme = ResilienceScheme::Strong;
+  AcrConfig ac = soak::base_acr_config();
   ac.redundancy = ckpt::Scheme::Partner;
   ac.degrade = DegradeMode::Shrink;
-  ac.checkpoint_interval = 0.003;
-  ac.heartbeat_period = 0.0004;
-  ac.heartbeat_timeout = 0.0016;
   if (tier) ac.tier.bandwidth = 1e9;
   return ac;
 }
 
-std::uint64_t verified_digest(AcrRuntime& runtime) {
-  checksum::Fletcher64 f;
-  for (int i = 0; i < runtime.cluster().nodes_per_replica(); ++i) {
-    NodeAgent& a = runtime.agent_at(0, i);
-    NodeAgent& b = runtime.agent_at(1, i);
-    const NodeAgent& best = a.verified_epoch() >= b.verified_epoch() ? a : b;
-    f.append(best.verified_image());
-  }
-  return f.digest();
-}
-
-struct Reference {
-  std::uint64_t digest = 0;
-  double finish_time = 0.0;
-};
-
 /// Fault-free, tier-free run fixing the expected answer.
-const Reference& reference() {
-  static Reference cached = [] {
-    apps::Jacobi3DConfig j = soak_app();
-    rt::ClusterConfig cc;
-    cc.nodes_per_replica = j.nodes_needed();
-    cc.spare_nodes = 0;
-    AcrRuntime runtime(soak_acr_config(/*tier=*/false), cc);
-    runtime.set_task_factory(j.factory());
-    runtime.setup();
-    RunSummary s = runtime.run(1e3);
-    ACR_REQUIRE(s.complete, "tier soak reference run must complete");
-    Reference ref;
-    ref.digest = verified_digest(runtime);
-    ref.finish_time = s.finish_time;
-    return ref;
-  }();
+const soak::Reference& reference() {
+  static soak::Reference cached = soak::make_reference(
+      soak::small_app(), soak_acr_config(/*tier=*/false),
+      "tier soak reference run must complete");
   return cached;
 }
 
 struct SoakOutcome {
-  RunSummary summary;
-  std::uint64_t digest = 0;
+  soak::Outcome out;
   bool scratch_after_durable = false;
   bool hardware_annihilated = false;
 };
 
 SoakOutcome soak_run(std::uint64_t seed, bool tier) {
-  apps::Jacobi3DConfig j = soak_app();
+  apps::Jacobi3DConfig j = soak::small_app();
   rt::ClusterConfig cc;
   cc.nodes_per_replica = j.nodes_needed();
   cc.spare_nodes = 2;  // shallow pool: bursts WILL exhaust it
@@ -96,43 +51,17 @@ SoakOutcome soak_run(std::uint64_t seed, bool tier) {
   AcrRuntime runtime(soak_acr_config(tier), cc);
   runtime.set_task_factory(j.factory());
   runtime.setup();
-  failure::BurstConfig bc;
-  bc.seed_mtbf = reference().finish_time / 3.0;
-  bc.weibull_shape = 0.7;
-  bc.follow_prob = 0.5;
-  bc.window = 0.001;
-  bc.domain_size = 4;
-  bc.repair_mean = reference().finish_time / 5.0;
-  runtime.set_burst_plan(bc);
-  SoakOutcome out;
-  out.summary = runtime.run(/*max_virtual_time=*/30.0);
-  if (out.summary.complete) {
-    runtime.engine().run_until(out.summary.finish_time + 0.05);
-    out.digest = verified_digest(runtime);
-  }
+  runtime.set_burst_plan(soak::default_burst_config(reference().finish_time));
+  SoakOutcome o;
+  o.out = soak::run_and_digest(runtime);
   // A scratch restart is legitimate only before the first epoch finished
   // flushing; afterwards the ladder must always serve an L2 fetch.
-  double first_durable = -1.0;
-  for (const auto& e : runtime.trace().events()) {
-    if (e.kind == rt::TraceKind::EpochDurable) {
-      first_durable = e.time;
-      break;
-    }
-  }
-  if (first_durable >= 0.0) {
-    for (const auto& e : runtime.trace().events()) {
-      if (e.kind == rt::TraceKind::Rollback && e.time >= first_durable &&
-          e.detail.find("restart from scratch") != std::string::npos)
-        out.scratch_after_durable = true;
-    }
-  }
+  o.scratch_after_durable = soak::scratch_after_first_durable(runtime);
   // A burst can kill every host of a replica before any repair returns;
   // no checkpoint level can continue without hardware, so that abort is
   // acceptable — but only if the single-tier pipeline aborts there too.
-  for (const auto& e : runtime.trace().events())
-    if (e.detail.find("no surviving host") != std::string::npos)
-      out.hardware_annihilated = true;
-  return out;
+  o.hardware_annihilated = soak::hardware_annihilated(runtime);
+  return o;
 }
 
 class TierSoak : public ::testing::TestWithParam<int> {};
@@ -140,22 +69,22 @@ class TierSoak : public ::testing::TestWithParam<int> {};
 TEST_P(TierSoak, BurstsRestoreFromL2Bitwise) {
   std::uint64_t seed = 650000 + static_cast<std::uint64_t>(GetParam()) * 7717;
   SoakOutcome o = soak_run(seed, /*tier=*/true);
-  if (!o.summary.complete) {
+  if (!o.out.summary.complete) {
     // The only tolerated failure: the burst wiped every host of a replica
     // (nothing any checkpoint level can do), and the single-tier pipeline
     // aborts on this seed as well — the tier never makes a run worse.
     EXPECT_TRUE(o.hardware_annihilated)
-        << "aborted or wedged at t=" << o.summary.finish_time << " (seed "
-        << seed << ", kills=" << o.summary.burst_node_kills
-        << ", waves=" << o.summary.l2_fetch_waves
-        << ", scratch=" << o.summary.scratch_restarts << ")";
+        << "aborted or wedged at t=" << o.out.summary.finish_time << " (seed "
+        << seed << ", kills=" << o.out.summary.burst_node_kills
+        << ", waves=" << o.out.summary.l2_fetch_waves
+        << ", scratch=" << o.out.summary.scratch_restarts << ")";
     SoakOutcome control = soak_run(seed, /*tier=*/false);
-    EXPECT_FALSE(control.summary.complete)
+    EXPECT_FALSE(control.out.summary.complete)
         << "seed " << seed
         << ": tier run aborted where the single-tier run completes";
   } else {
-    EXPECT_FALSE(o.summary.failed);
-    EXPECT_EQ(o.digest, reference().digest) << "seed " << seed;
+    EXPECT_FALSE(o.out.summary.failed);
+    EXPECT_EQ(o.out.digest, reference().digest) << "seed " << seed;
   }
   EXPECT_FALSE(o.scratch_after_durable)
       << "seed " << seed << ": scratch restart while a flushed epoch existed";
@@ -171,10 +100,10 @@ class TierSoakControl : public ::testing::TestWithParam<int> {};
 TEST_P(TierSoakControl, NoTierControlMatchesReferenceBitwise) {
   std::uint64_t seed = 650000 + static_cast<std::uint64_t>(GetParam()) * 7717;
   SoakOutcome o = soak_run(seed, /*tier=*/false);
-  ASSERT_TRUE(o.summary.complete);
-  EXPECT_EQ(o.summary.l2_flushes, 0u);
-  EXPECT_EQ(o.summary.l2_fetch_waves, 0u);
-  EXPECT_EQ(o.digest, reference().digest) << "seed " << seed;
+  ASSERT_TRUE(o.out.summary.complete);
+  EXPECT_EQ(o.out.summary.l2_flushes, 0u);
+  EXPECT_EQ(o.out.summary.l2_fetch_waves, 0u);
+  EXPECT_EQ(o.out.digest, reference().digest) << "seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TierSoakControl, ::testing::Range(0, 10));

@@ -15,75 +15,29 @@
 
 #include "acr/runtime.h"
 #include "apps/jacobi3d.h"
-#include "checksum/fletcher.h"
 #include "ckpt/group.h"
 #include "common/rng.h"
-#include "failure/distributions.h"
+#include "soak_util.h"
 
 namespace acr {
 namespace {
 
 constexpr int kGroupSize = 4;
 
-apps::Jacobi3DConfig soak_app() {
-  apps::Jacobi3DConfig cfg;
-  cfg.tasks_x = cfg.tasks_y = 2;
-  cfg.tasks_z = 4;
-  cfg.block_x = cfg.block_y = cfg.block_z = 4;
-  cfg.iterations = 40;
-  cfg.slots_per_node = 2;  // 8 nodes per replica -> 2 xor groups of 4
-  cfg.seconds_per_point = 1e-5;
-  return cfg;
-}
-
 AcrConfig soak_acr_config() {
-  AcrConfig ac;
-  ac.scheme = ResilienceScheme::Strong;  // xor requires strong
+  AcrConfig ac = soak::base_acr_config();  // xor requires strong
   ac.redundancy = ckpt::Scheme::Xor;
   ac.xor_group_size = kGroupSize;
-  ac.checkpoint_interval = 0.003;
-  ac.heartbeat_period = 0.0004;
-  ac.heartbeat_timeout = 0.0016;
   return ac;
 }
-
-std::uint64_t verified_digest(AcrRuntime& runtime) {
-  checksum::Fletcher64 f;
-  for (int i = 0; i < runtime.cluster().nodes_per_replica(); ++i) {
-    NodeAgent& a = runtime.agent_at(0, i);
-    NodeAgent& b = runtime.agent_at(1, i);
-    const NodeAgent& best = a.verified_epoch() >= b.verified_epoch() ? a : b;
-    f.append(best.verified_image());
-  }
-  return f.digest();
-}
-
-struct Reference {
-  std::uint64_t digest = 0;
-  double finish_time = 0.0;
-};
 
 /// Fault-free run under the *xor* configuration: fixes the expected answer
 /// and the nominal completion time the kill schedule is drawn from (and
 /// doubles as a check that the parity exchange itself is harmless).
-const Reference& reference() {
-  static Reference cached = [] {
-    apps::Jacobi3DConfig j = soak_app();
-    AcrConfig ac = soak_acr_config();
-    rt::ClusterConfig cc;
-    cc.nodes_per_replica = j.nodes_needed();
-    cc.spare_nodes = 0;
-    AcrRuntime runtime(ac, cc);
-    runtime.set_task_factory(j.factory());
-    runtime.setup();
-    RunSummary s = runtime.run(1e3);
-    ACR_REQUIRE(s.complete, "xor soak reference run must complete");
-    ACR_REQUIRE(s.parity_chunks_sent > 0, "xor parity exchange never ran");
-    Reference ref;
-    ref.digest = verified_digest(runtime);
-    ref.finish_time = s.finish_time;
-    return ref;
-  }();
+const soak::Reference& reference() {
+  static soak::Reference cached = soak::make_reference(
+      soak::small_app(), soak_acr_config(),
+      "xor soak reference run must complete");
   return cached;
 }
 
@@ -91,13 +45,12 @@ const Reference& reference() {
 /// death of one uniformly chosen member at a uniformly chosen time within
 /// the nominal run. Returns the summary plus the verified digest.
 struct SoakOutcome {
-  RunSummary summary;
-  std::uint64_t digest = 0;
+  soak::Outcome out;
   int kills = 0;
 };
 
 SoakOutcome soak_run(std::uint64_t seed) {
-  apps::Jacobi3DConfig j = soak_app();
+  apps::Jacobi3DConfig j = soak::small_app();
   AcrConfig ac = soak_acr_config();
   rt::ClusterConfig cc;
   cc.nodes_per_replica = j.nodes_needed();
@@ -110,7 +63,7 @@ SoakOutcome soak_run(std::uint64_t seed) {
   ckpt::GroupMap groups(cc.nodes_per_replica, kGroupSize);
   ACR_REQUIRE(groups.enabled(), "soak requires grouping");
   Pcg32 rng(seed, 0x50AF);
-  SoakOutcome out;
+  SoakOutcome o;
   for (int r = 0; r < 2; ++r) {
     for (int g = 0; g < groups.num_groups(); ++g) {
       std::vector<int> members =
@@ -123,16 +76,12 @@ SoakOutcome soak_run(std::uint64_t seed) {
         if (!runtime.cluster().role_alive(r, victim)) return;
         runtime.cluster().kill_role(r, victim);
       });
-      ++out.kills;
+      ++o.kills;
     }
   }
 
-  out.summary = runtime.run(/*max_virtual_time=*/30.0);
-  if (out.summary.complete) {
-    runtime.engine().run_until(out.summary.finish_time + 0.05);
-    out.digest = verified_digest(runtime);
-  }
-  return out;
+  o.out = soak::run_and_digest(runtime);
+  return o;
 }
 
 class XorSoak : public ::testing::TestWithParam<int> {};
@@ -141,14 +90,14 @@ TEST_P(XorSoak, OneKillPerGroupRecoversBitwise) {
   std::uint64_t seed = 120000 + static_cast<std::uint64_t>(GetParam()) * 4813;
   SoakOutcome o = soak_run(seed);
   EXPECT_EQ(o.kills, 4);  // 2 replicas x 2 groups
-  ASSERT_TRUE(o.summary.complete)
-      << "wedged or failed at t=" << o.summary.finish_time << " (seed "
-      << seed << ", scratch=" << o.summary.scratch_restarts << ")";
-  EXPECT_EQ(o.digest, reference().digest) << "seed " << seed;
+  ASSERT_TRUE(o.out.summary.complete)
+      << "wedged or failed at t=" << o.out.summary.finish_time << " (seed "
+      << seed << ", scratch=" << o.out.summary.scratch_restarts << ")";
+  EXPECT_EQ(o.out.digest, reference().digest) << "seed " << seed;
   // A kill landing just before completion can legitimately go undetected
   // (the job finishes inside the heartbeat timeout), so only an upper
   // bound holds.
-  EXPECT_LE(o.summary.hard_failures, static_cast<std::uint64_t>(o.kills))
+  EXPECT_LE(o.out.summary.hard_failures, static_cast<std::uint64_t>(o.kills))
       << "seed " << seed;
 }
 
@@ -163,7 +112,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, XorSoak, ::testing::Range(0, 110));
 /// Under xor the two buddies sit in *different* parity groups (one per
 /// replica), so both rebuild independently from their group peers.
 TEST(XorTargeted, BuddyPairLossIsSurvivable) {
-  apps::Jacobi3DConfig j = soak_app();
+  apps::Jacobi3DConfig j = soak::small_app();
   AcrConfig ac = soak_acr_config();
   rt::ClusterConfig cc;
   cc.nodes_per_replica = j.nodes_needed();
@@ -179,18 +128,18 @@ TEST(XorTargeted, BuddyPairLossIsSurvivable) {
   runtime.engine().schedule_at(mid * 1.2, [&runtime] {
     runtime.cluster().kill_role(1, 3);
   });
-  RunSummary s = runtime.run(30.0);
-  ASSERT_TRUE(s.complete) << "buddy-pair loss not survived under xor";
-  runtime.engine().run_until(s.finish_time + 0.05);
-  EXPECT_EQ(verified_digest(runtime), reference().digest);
-  EXPECT_GE(s.xor_rebuilds, 1u);
+  soak::Outcome o = soak::run_and_digest(runtime);
+  ASSERT_TRUE(o.summary.complete) << "buddy-pair loss not survived under xor";
+  EXPECT_EQ(o.digest, reference().digest);
+  EXPECT_GT(o.summary.parity_chunks_sent, 0u) << "parity exchange never ran";
+  EXPECT_GE(o.summary.xor_rebuilds, 1u);
 }
 
 /// Two dead members in the *same* group exceed single-parity coverage; the
 /// manager must fall back to a scratch restart — and the job must still
 /// finish with the right answer.
 TEST(XorTargeted, TwoDeadInOneGroupFallsBackToScratch) {
-  apps::Jacobi3DConfig j = soak_app();
+  apps::Jacobi3DConfig j = soak::small_app();
   AcrConfig ac = soak_acr_config();
   rt::ClusterConfig cc;
   cc.nodes_per_replica = j.nodes_needed();
@@ -208,16 +157,15 @@ TEST(XorTargeted, TwoDeadInOneGroupFallsBackToScratch) {
   runtime.engine().schedule_at(mid + 1e-5, [&runtime] {
     runtime.cluster().kill_role(0, 2);
   });
-  RunSummary s = runtime.run(30.0);
-  ASSERT_TRUE(s.complete) << "double-death in one group wedged the job";
-  runtime.engine().run_until(s.finish_time + 0.05);
-  EXPECT_EQ(verified_digest(runtime), reference().digest);
+  soak::Outcome o = soak::run_and_digest(runtime);
+  ASSERT_TRUE(o.summary.complete) << "double-death in one group wedged the job";
+  EXPECT_EQ(o.digest, reference().digest);
 }
 
 /// The local scheme keeps no cross-node redundancy at all: any hard failure
 /// after the first commit still completes, but only ever by scratch restart.
 TEST(XorTargeted, LocalSchemeRecoversOnlyFromScratch) {
-  apps::Jacobi3DConfig j = soak_app();
+  apps::Jacobi3DConfig j = soak::small_app();
   AcrConfig ac = soak_acr_config();
   ac.redundancy = ckpt::Scheme::Local;
   ac.xor_group_size = 0;
@@ -232,12 +180,11 @@ TEST(XorTargeted, LocalSchemeRecoversOnlyFromScratch) {
   runtime.engine().schedule_at(mid, [&runtime] {
     runtime.cluster().kill_role(0, 5);
   });
-  RunSummary s = runtime.run(30.0);
-  ASSERT_TRUE(s.complete);
-  EXPECT_EQ(s.scratch_restarts, 1u);
-  EXPECT_EQ(s.xor_rebuilds, 0u);
-  runtime.engine().run_until(s.finish_time + 0.05);
-  EXPECT_EQ(verified_digest(runtime), reference().digest);
+  soak::Outcome o = soak::run_and_digest(runtime);
+  ASSERT_TRUE(o.summary.complete);
+  EXPECT_EQ(o.summary.scratch_restarts, 1u);
+  EXPECT_EQ(o.summary.xor_rebuilds, 0u);
+  EXPECT_EQ(o.digest, reference().digest);
 }
 
 }  // namespace
